@@ -1,0 +1,38 @@
+//! # sod-asm — assembler for the sod-vm stack machine
+//!
+//! Two front ends produce verified [`ClassDef`](sod_vm::class::ClassDef)s:
+//!
+//! * [`builder`] — a fluent Rust API with named locals, labels, and source
+//!   lines. All paper workloads (`sod-workloads`) are written with it.
+//! * [`text`] — a line-oriented textual assembly format (`.sasm`), useful
+//!   for examples and quick experiments.
+//!
+//! Source *lines* matter here more than in a typical assembler: the SOD
+//! preprocessor defines migration-safe points at line starts, so the
+//! assembler forces every instruction to belong to an explicit line.
+//!
+//! ```
+//! use sod_asm::builder::ClassBuilder;
+//! use sod_vm::interp::Vm;
+//! use sod_vm::value::Value;
+//!
+//! let class = ClassBuilder::new("Main")
+//!     .method("main", &[], |m| {
+//!         m.line();
+//!         m.pushi(40).pushi(2).add().retv();
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let mut vm = Vm::new();
+//! vm.load_class(&class).unwrap();
+//! assert_eq!(
+//!     vm.run_to_completion("Main", "main", &[]).unwrap(),
+//!     Some(Value::Int(42))
+//! );
+//! ```
+
+pub mod builder;
+pub mod text;
+
+pub use builder::{ClassBuilder, MethodBuilder};
+pub use text::assemble;

@@ -1,0 +1,77 @@
+//! G-JavaMPI-style eager-copy process migration.
+//!
+//! "the whole process data is captured with eager-copy, and worse still,
+//! all objects are exported using Java serialization" — capture cost scales
+//! with frames *and* heap bytes; one bulk transfer; restore deserializes
+//! everything. Table IV anchors: Fib (46 frames, tiny heap) ≈ 60 ms
+//! capture; FFT (64 MB statics) ≈ 457 / 1054 / 959 ms.
+
+use sod_net::time::US;
+use sod_runtime::costs::{deserialize_ns, serialize_ns, class_load_ns};
+
+use crate::systems::{gigabit_transfer_ns, MigrationBreakdown, WorkloadMeasure};
+
+/// Per-frame capture cost over the older debugger interface (slower than
+/// JVMTI; the paper's Fib capture is ≈1.3 ms/frame).
+pub const CAPTURE_PER_FRAME_NS: u64 = 900 * US;
+
+/// Fixed suspend/setup cost per migration.
+pub const CAPTURE_FIXED_NS: u64 = 2_000 * US;
+
+/// Migration breakdown for an eager-copy process migration of `m`.
+pub fn breakdown(m: &WorkloadMeasure) -> MigrationBreakdown {
+    let state_bytes = m.stack_bytes + m.heap_bytes;
+    let capture_ns = CAPTURE_FIXED_NS
+        + CAPTURE_PER_FRAME_NS * m.frames as u64
+        + serialize_ns(state_bytes);
+    let transfer_ns = gigabit_transfer_ns(state_bytes + m.class_bytes);
+    let restore_ns = deserialize_ns(state_bytes) + class_load_ns(m.class_bytes)
+        + CAPTURE_PER_FRAME_NS * m.frames as u64 / 2;
+    MigrationBreakdown {
+        capture_ns,
+        transfer_ns,
+        restore_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadMeasure {
+        WorkloadMeasure {
+            exec_ns: 10_000_000_000,
+            frames: 4,
+            locals: 16,
+            stack_bytes: 600,
+            heap_bytes: 4_000,
+            static_array_bytes: 0,
+            class_bytes: 3_000,
+        }
+    }
+
+    #[test]
+    fn heap_size_dominates_eager_copy() {
+        let small = breakdown(&base());
+        let big = breakdown(&WorkloadMeasure {
+            heap_bytes: 64 << 20,
+            ..base()
+        });
+        assert!(big.capture_ns > 50 * small.capture_ns);
+        assert!(big.transfer_ns > 50 * small.transfer_ns);
+        assert!(big.restore_ns > 50 * small.restore_ns);
+        // FFT anchor: capture in the hundreds of ms.
+        assert!(big.capture_ns > 300_000_000, "{}", big.capture_ns);
+        assert!(big.capture_ns < 800_000_000);
+    }
+
+    #[test]
+    fn deep_stacks_cost_capture() {
+        let shallow = breakdown(&base());
+        let deep = breakdown(&WorkloadMeasure {
+            frames: 46,
+            ..base()
+        });
+        assert!(deep.capture_ns > shallow.capture_ns + 30_000_000);
+    }
+}

@@ -1,0 +1,89 @@
+//! JESSICA2-style in-JVM thread migration.
+//!
+//! Capture reads the JVM kernel directly ("state information can be
+//! retrieved directly from the JVM kernel") — tens of microseconds of
+//! fixed cost plus single-digit microseconds per frame. The whole stack
+//! moves (no segmenting); objects arrive later through its global object
+//! space. The restore pathology the paper highlights: "JESSICA2 always
+//! allocates space for static arrays at class loading", so FFT's 64 MB
+//! static array inflates restore from ~8 ms to ~72 ms.
+
+use sod_net::time::US;
+use sod_runtime::costs::class_load_ns;
+use sod_vm::costs::alloc_cost;
+
+use crate::systems::{gigabit_transfer_ns, MigrationBreakdown, WorkloadMeasure};
+
+/// Fixed in-kernel capture cost.
+pub const CAPTURE_FIXED_NS: u64 = 30 * US;
+
+/// Per-frame in-kernel capture cost.
+pub const CAPTURE_PER_FRAME_NS: u64 = 7 * US;
+
+/// Fixed restore cost (thread re-establishment inside the JVM).
+pub const RESTORE_FIXED_NS: u64 = 6_000 * US;
+
+/// Migration breakdown for an in-JVM thread migration of `m`.
+pub fn breakdown(m: &WorkloadMeasure) -> MigrationBreakdown {
+    let capture_ns = CAPTURE_FIXED_NS + CAPTURE_PER_FRAME_NS * m.frames as u64;
+    let transfer_ns = gigabit_transfer_ns(m.stack_bytes);
+    let restore_ns = RESTORE_FIXED_NS
+        + class_load_ns(m.class_bytes)
+        + alloc_cost(m.static_array_bytes); // statics allocated at load!
+    MigrationBreakdown {
+        capture_ns,
+        transfer_ns,
+        restore_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadMeasure {
+        WorkloadMeasure {
+            exec_ns: 10_000_000_000,
+            frames: 4,
+            locals: 16,
+            stack_bytes: 600,
+            heap_bytes: 4_000,
+            static_array_bytes: 0,
+            class_bytes: 3_000,
+        }
+    }
+
+    #[test]
+    fn capture_is_microseconds() {
+        let b = breakdown(&base());
+        assert!(b.capture_ns < 200 * US, "{}", b.capture_ns);
+        // Even 46 frames stay well under a millisecond.
+        let deep = breakdown(&WorkloadMeasure {
+            frames: 46,
+            ..base()
+        });
+        assert!(deep.capture_ns < 1_000 * US);
+    }
+
+    #[test]
+    fn static_arrays_poison_restore() {
+        let small = breakdown(&base());
+        let fft = breakdown(&WorkloadMeasure {
+            static_array_bytes: 64 << 20,
+            ..base()
+        });
+        // Paper Table IV: 8 ms → ~72 ms; shape: an order of magnitude.
+        assert!(fft.restore_ns > 8 * small.restore_ns);
+        assert!(fft.restore_ns > 60_000_000 && fft.restore_ns < 150_000_000);
+    }
+
+    #[test]
+    fn heap_does_not_travel() {
+        let small = breakdown(&base());
+        let big_heap = breakdown(&WorkloadMeasure {
+            heap_bytes: 64 << 20,
+            ..base()
+        });
+        assert_eq!(small.transfer_ns, big_heap.transfer_ns);
+    }
+}

@@ -1,0 +1,43 @@
+//! Capture/restore round-trip cost over stack depth (JVMTI vs internal).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sod_vm::capture::{capture_segment, restore_segment_direct};
+use sod_vm::interp::{RunMode, Vm};
+use sod_vm::tooling::ToolingPath;
+use sod_vm::value::Value;
+use sod_workloads::programs::fib_class;
+
+fn vm_at_depth(n: i64) -> (Vm, usize, usize) {
+    let class = sod_preprocess::preprocess_sod(&fib_class()).unwrap();
+    let mut vm = Vm::new();
+    vm.load_class(&class).unwrap();
+    let tid = vm.spawn("Fib", "main", &[Value::Int(n)]).unwrap();
+    // run until deep, then to an MSP
+    vm.run(tid, 3_000, RunMode::Normal).unwrap();
+    vm.run(tid, u64::MAX, RunMode::StopAtMsp).unwrap();
+    let d = vm.thread(tid).unwrap().frames.len();
+    (vm, tid, d)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture_restore");
+    for n in [10i64, 20] {
+        let (mut vm, tid, depth) = vm_at_depth(n);
+        let template = vm.classes[0].def.clone();
+        g.bench_with_input(BenchmarkId::new("jvmti", depth), &depth, |b, _| {
+            b.iter(|| capture_segment(&mut vm, tid, depth, ToolingPath::Jvmti).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("roundtrip", depth), &depth, |b, _| {
+            b.iter(|| {
+                let (state, _) =
+                    capture_segment(&mut vm, tid, depth, ToolingPath::Internal).unwrap();
+                let mut worker = Vm::new();
+                worker.load_class(&template).unwrap();
+                restore_segment_direct(&mut worker, &state).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Wire codec throughput: class files and captured states.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod_vm::wire::{decode_class, encode_class};
+use sod_workloads::programs::{fft_class, nqueens_class};
+
+fn bench(c: &mut Criterion) {
+    let classes = [nqueens_class(), fft_class()];
+    let mut g = c.benchmark_group("codec");
+    for class in &classes {
+        let encoded = encode_class(class);
+        g.bench_function(format!("encode_{}", class.name), |b| {
+            b.iter(|| encode_class(class))
+        });
+        g.bench_function(format!("decode_{}", class.name), |b| {
+            b.iter(|| decode_class(encoded.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

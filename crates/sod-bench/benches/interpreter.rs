@@ -1,0 +1,20 @@
+//! Interpreter throughput: instructions/second on recursive Fibonacci.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod_vm::interp::Vm;
+use sod_vm::value::Value;
+use sod_workloads::programs::fib_class;
+
+fn bench(c: &mut Criterion) {
+    let class = fib_class();
+    c.bench_function("interp_fib20", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new();
+            vm.load_class(&class).unwrap();
+            vm.run_to_completion("Fib", "main", &[Value::Int(20)])
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Wall-clock cost of simulating one full SOD migration (Fig. 1a).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod_workloads::WORKLOADS;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("simulate_fig1a_nq", |b| {
+        b.iter(|| sod_bench::run_sodee(&WORKLOADS[1], true))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table V in real time: field-access loops under the three
+//! instrumentation variants (original / fault handlers / status checks).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod_preprocess::{preprocess, Options};
+use sod_vm::interp::Vm;
+use sod_vm::value::Value;
+
+fn micro() -> sod_vm::class::ClassDef {
+    use sod_asm::builder::ClassBuilder;
+    use sod_vm::instr::Cmp;
+    use sod_vm::value::TypeOf;
+    ClassBuilder::new("Micro")
+        .field("f", TypeOf::Int)
+        .method("main", &["iters"], |m| {
+            m.line();
+            m.new_obj("Micro").store("o");
+            m.line();
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("iters").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("o").load("i").putfield("f");
+            m.line();
+            m.load("o").getfield("f").store("t");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("t").retv();
+        })
+        .build()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let plain = micro();
+    let variants = [
+        ("rearranged", preprocess(&plain, &Options::rearrange_only()).unwrap().0),
+        ("faulting", preprocess(&plain, &Options::sod()).unwrap().0),
+        ("checking", preprocess(&plain, &Options::status_checks()).unwrap().0),
+    ];
+    let mut g = c.benchmark_group("object_access");
+    for (name, class) in &variants {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.load_class(class).unwrap();
+                vm.run_to_completion("Micro", "main", &[Value::Int(10_000)])
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

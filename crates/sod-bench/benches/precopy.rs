@@ -1,0 +1,18 @@
+//! Xen pre-copy simulator cost across dirty rates.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod_baselines::vm_live::{simulate, PrecopyConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("precopy_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for dirty in [1u64, 8, 64, 512] {
+                total += simulate(&PrecopyConfig::paper_testbed(400, dirty)).total_ns;
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

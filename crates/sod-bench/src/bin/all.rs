@@ -1,0 +1,15 @@
+//! Regenerate every table and figure of the paper's evaluation (§IV).
+fn main() {
+    for (name, t) in [
+        ("", sod_bench::table1()),
+        ("", sod_bench::table2_and_3()),
+        ("", sod_bench::table4()),
+        ("", sod_bench::table5()),
+        ("", sod_bench::table6()),
+        ("", sod_bench::table7()),
+        ("", sod_bench::fig1()),
+        ("", sod_bench::roaming()),
+    ] {
+        println!("{name}{t}");
+    }
+}

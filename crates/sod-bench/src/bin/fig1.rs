@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig1.
+fn main() {
+    print!("{}", sod_bench::fig1());
+}

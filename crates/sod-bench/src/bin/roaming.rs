@@ -1,0 +1,4 @@
+//! Regenerate the paper's roaming.
+fn main() {
+    print!("{}", sod_bench::roaming());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's Tables II and III.
+fn main() {
+    print!("{}", sod_bench::table2_and_3());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's table4.
+fn main() {
+    print!("{}", sod_bench::table4());
+}

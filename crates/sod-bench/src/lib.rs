@@ -1,0 +1,10 @@
+//! # sod-bench — the evaluation harness
+//!
+//! One function per table/figure of the paper's §IV; each returns the
+//! formatted table so binaries print it and tests assert on its shape.
+//! `bin/all` regenerates the full evaluation and is what `EXPERIMENTS.md`
+//! records.
+
+pub mod tables;
+
+pub use tables::*;

@@ -1,0 +1,279 @@
+//! The discrete-event scheduler.
+//!
+//! A [`Sim`] owns a [`World`] (the cluster state), a [`Topology`], and an
+//! event queue. Each event is the delivery of one message to one node at a
+//! virtual time; handling a message may send further messages (through
+//! links, charging transfer time) or schedule timers. Events with equal
+//! timestamps are delivered in submission order (a monotonically increasing
+//! sequence number breaks ties), making runs fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::topology::Topology;
+
+/// The world the simulator drives: your cluster state.
+pub trait World {
+    /// Message type delivered to nodes (including self-scheduled timers).
+    type Msg;
+
+    /// Handle `msg` arriving at node `dst` at virtual time `ctx.now()`.
+    fn on_message(&mut self, dst: usize, msg: Self::Msg, ctx: &mut SimCtx<'_, Self::Msg>);
+}
+
+struct Event<M> {
+    at: u64,
+    seq: u64,
+    dst: usize,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handler-side context: send messages, schedule timers, read the clock.
+pub struct SimCtx<'a, M> {
+    now: u64,
+    topo: &'a mut Topology,
+    // (arrival time, dst, msg); drained into the queue after the handler.
+    outbox: Vec<(u64, usize, M)>,
+}
+
+impl<'a, M> SimCtx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Send `msg` of `bytes` payload from `from` to `to` over the topology;
+    /// delivery is charged transfer time and queues FIFO on the link.
+    pub fn send(&mut self, from: usize, to: usize, bytes: u64, msg: M) {
+        let at = self.topo.transfer(self.now, from, to, bytes);
+        self.outbox.push((at, to, msg));
+    }
+
+    /// As [`SimCtx::send`], but the transfer begins only after `delay` ns of
+    /// local work (e.g. serialization) has elapsed.
+    pub fn send_after(&mut self, delay: u64, from: usize, to: usize, bytes: u64, msg: M) {
+        let at = self.topo.transfer(self.now + delay, from, to, bytes);
+        self.outbox.push((at, to, msg));
+    }
+
+    /// Deliver `msg` to `dst` after `delay` ns without touching any link
+    /// (timers, local work completion).
+    pub fn schedule(&mut self, delay: u64, dst: usize, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Access the topology (e.g. to inspect link state in tests).
+    pub fn topology(&mut self) -> &mut Topology {
+        self.topo
+    }
+}
+
+/// The simulator.
+pub struct Sim<W: World> {
+    pub world: W,
+    topo: Topology,
+    queue: BinaryHeap<Reverse<Event<W::Msg>>>,
+    now: u64,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<W: World> Sim<W> {
+    pub fn new(world: W, topo: Topology) -> Self {
+        Sim {
+            world,
+            topo,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last delivered event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Inject a message at absolute time `at` (≥ now).
+    pub fn inject(&mut self, at: u64, dst: usize, msg: W::Msg) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            dst,
+            msg,
+        }));
+    }
+
+    /// Deliver the next event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.delivered += 1;
+        let mut ctx = SimCtx {
+            now: self.now,
+            topo: &mut self.topo,
+            outbox: Vec::new(),
+        };
+        self.world.on_message(ev.dst, ev.msg, &mut ctx);
+        let outbox = ctx.outbox;
+        for (at, dst, msg) in outbox {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse(Event { at, seq, dst, msg }));
+        }
+        true
+    }
+
+    /// Run until the event queue drains; returns the final virtual time.
+    /// `max_events` bounds runaway simulations.
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        let mut budget = max_events;
+        while budget > 0 && self.step() {
+            budget -= 1;
+        }
+        assert!(budget > 0, "simulation exceeded {max_events} events");
+        self.now
+    }
+
+    /// Access the topology (bandwidth accounting etc.).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    /// A world that records deliveries and can relay.
+    struct Recorder {
+        log: Vec<(u64, usize, u32)>,
+        relay: bool,
+    }
+
+    impl World for Recorder {
+        type Msg = u32;
+
+        fn on_message(&mut self, dst: usize, msg: u32, ctx: &mut SimCtx<'_, u32>) {
+            self.log.push((ctx.now(), dst, msg));
+            if self.relay && msg < 3 {
+                // Each node forwards msg+1 to the next node with 100 B.
+                ctx.send(dst, (dst + 1) % 3, 100, msg + 1);
+            }
+        }
+    }
+
+    fn sim(relay: bool) -> Sim<Recorder> {
+        Sim::new(
+            Recorder {
+                log: Vec::new(),
+                relay,
+            },
+            Topology::uniform(3, LinkSpec::new(1000, 8_000_000_000)),
+        )
+    }
+
+    #[test]
+    fn delivery_order_is_time_then_fifo() {
+        let mut s = sim(false);
+        s.inject(50, 1, 10);
+        s.inject(10, 0, 11);
+        s.inject(50, 2, 12); // same time as the first: FIFO by injection
+        s.run_to_idle(100);
+        let order: Vec<u32> = s.world.log.iter().map(|(_, _, m)| *m).collect();
+        assert_eq!(order, vec![11, 10, 12]);
+    }
+
+    #[test]
+    fn relayed_messages_chain_through_links() {
+        let mut s = sim(true);
+        s.inject(0, 0, 0);
+        s.run_to_idle(100);
+        // 0@0, then each hop costs 100B/1B-per-ns + 1000 latency = 1100 ns.
+        assert_eq!(s.world.log.len(), 4);
+        assert_eq!(s.world.log[1], (1100, 1, 1));
+        assert_eq!(s.world.log[2], (2200, 2, 2));
+        assert_eq!(s.world.log[3], (3300, 0, 3));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut s = sim(true);
+        s.inject(5, 0, 0);
+        s.inject(5, 1, 0);
+        s.inject(7, 2, 0);
+        s.run_to_idle(1000);
+        let times: Vec<u64> = s.world.log.iter().map(|(t, _, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(s.delivered(), s.world.log.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_guard() {
+        // Node 0 keeps scheduling itself.
+        struct Loopy;
+        impl World for Loopy {
+            type Msg = ();
+            fn on_message(&mut self, dst: usize, _m: (), ctx: &mut SimCtx<'_, ()>) {
+                ctx.schedule(1, dst, ());
+            }
+        }
+        let mut s = Sim::new(Loopy, Topology::gigabit_cluster(1));
+        s.inject(0, 0, ());
+        s.run_to_idle(50);
+    }
+
+    #[test]
+    fn timers_do_not_touch_links() {
+        struct T;
+        impl World for T {
+            type Msg = u8;
+            fn on_message(&mut self, _d: usize, m: u8, ctx: &mut SimCtx<'_, u8>) {
+                if m == 0 {
+                    ctx.schedule(500, 1, 1);
+                }
+            }
+        }
+        let mut s = Sim::new(T, Topology::gigabit_cluster(2));
+        s.inject(0, 0, 0);
+        s.run_to_idle(10);
+        assert_eq!(s.topology().total_bytes_carried(), 0);
+        assert_eq!(s.now(), 500);
+    }
+}

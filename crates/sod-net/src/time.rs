@@ -1,0 +1,47 @@
+//! Virtual time: plain `u64` nanoseconds with readable constants and
+//! formatting helpers. A newtype was considered and rejected — the runtime
+//! mixes simulator time with VM cost-meter nanoseconds constantly, and the
+//! conversions drowned out the code.
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// One microsecond in virtual ns.
+pub const US: u64 = NS_PER_US;
+/// One millisecond in virtual ns.
+pub const MS: u64 = NS_PER_MS;
+/// One second in virtual ns.
+pub const SEC: u64 = NS_PER_SEC;
+
+/// Format a nanosecond count as fractional milliseconds (2 decimals),
+/// matching the paper's tables.
+pub fn ns_to_ms_string(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / NS_PER_MS as f64)
+}
+
+/// Format a nanosecond count as fractional seconds (2 decimals).
+pub fn ns_to_s_string(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / NS_PER_SEC as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ns_to_ms_string(1_500_000), "1.50");
+        assert_eq!(ns_to_s_string(2_500_000_000), "2.50");
+        assert_eq!(ns_to_ms_string(0), "0.00");
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(NS_PER_SEC, 1000 * NS_PER_MS);
+        assert_eq!(NS_PER_MS, 1000 * NS_PER_US);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cluster topologies: a set of nodes and the directed links between them.
+
+use std::collections::HashMap;
+
+use crate::link::{Link, LinkSpec};
+
+/// Directed links between `n` nodes. Links are created lazily from a
+/// default spec; individual pairs can be overridden (e.g. one Wi-Fi device
+/// in an otherwise Gigabit cluster).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    default_spec: LinkSpec,
+    overrides: HashMap<(usize, usize), LinkSpec>,
+    links: HashMap<(usize, usize), Link>,
+}
+
+impl Topology {
+    /// All pairs use `default_spec`.
+    pub fn uniform(n: usize, default_spec: LinkSpec) -> Self {
+        Topology {
+            n,
+            default_spec,
+            overrides: HashMap::new(),
+            links: HashMap::new(),
+        }
+    }
+
+    /// The paper's cluster: Gigabit Ethernet everywhere.
+    pub fn gigabit_cluster(n: usize) -> Self {
+        Topology::uniform(n, LinkSpec::gigabit())
+    }
+
+    /// A WAN-connected grid (the roaming experiment).
+    pub fn wan_grid(n: usize) -> Self {
+        Topology::uniform(n, LinkSpec::wan())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Override the link spec for both directions between `a` and `b`
+    /// (e.g. attach a bandwidth-limited device).
+    pub fn set_link(&mut self, a: usize, b: usize, spec: LinkSpec) {
+        self.overrides.insert((a, b), spec);
+        self.overrides.insert((b, a), spec);
+        self.links.remove(&(a, b));
+        self.links.remove(&(b, a));
+    }
+
+    /// The directed link from `from` to `to` (created on first use).
+    pub fn link_mut(&mut self, from: usize, to: usize) -> &mut Link {
+        let spec = self
+            .overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_spec);
+        self.links
+            .entry((from, to))
+            .or_insert_with(|| Link::new(spec))
+    }
+
+    /// Submit a transfer; returns arrival time. `from == to` is a local
+    /// delivery with a small loopback cost.
+    pub fn transfer(&mut self, now: u64, from: usize, to: usize, bytes: u64) -> u64 {
+        if from == to {
+            return now + 1_000; // 1 µs loopback
+        }
+        self.link_mut(from, to).transfer(now, bytes)
+    }
+
+    /// Total bytes carried across all links (conservation checks).
+    pub fn total_bytes_carried(&self) -> u64 {
+        self.links.values().map(|l| l.bytes_carried).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MS;
+
+    #[test]
+    fn lazy_links_and_overrides() {
+        let mut t = Topology::gigabit_cluster(3);
+        t.set_link(0, 2, LinkSpec::wifi_kbps(128));
+        let fast = t.transfer(0, 0, 1, 1000);
+        let slow = t.transfer(0, 0, 2, 1000);
+        assert!(slow > fast);
+        // 1000 B at 128 kbps = 62.5 ms tx + 2 ms latency.
+        assert_eq!(slow, 62_500_000 + 2 * MS);
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut t = Topology::gigabit_cluster(2);
+        assert_eq!(t.transfer(10, 1, 1, 1 << 20), 10 + 1000);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut t = Topology::gigabit_cluster(2);
+        let a = t.transfer(0, 0, 1, 1_000_000);
+        let b = t.transfer(0, 1, 0, 1_000_000);
+        assert_eq!(a, b); // same spec, no shared queueing
+        let a2 = t.transfer(0, 0, 1, 1_000_000);
+        assert!(a2 > a); // same direction queues
+    }
+
+    #[test]
+    fn byte_conservation() {
+        let mut t = Topology::gigabit_cluster(4);
+        t.transfer(0, 0, 1, 100);
+        t.transfer(0, 2, 3, 250);
+        t.transfer(5, 1, 0, 50);
+        assert_eq!(t.total_bytes_carried(), 400);
+    }
+}

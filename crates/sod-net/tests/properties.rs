@@ -1,0 +1,89 @@
+//! Property tests for the discrete-event simulator: delivery ordering,
+//! exactly-once semantics, byte conservation, and FIFO links.
+
+use proptest::prelude::*;
+use sod_net::{LinkSpec, Sim, SimCtx, Topology, World};
+
+#[derive(Default)]
+struct Recorder {
+    log: Vec<(u64, usize, u64)>,
+}
+
+impl World for Recorder {
+    type Msg = u64;
+    fn on_message(&mut self, dst: usize, msg: u64, ctx: &mut SimCtx<'_, u64>) {
+        self.log.push((ctx.now(), dst, msg));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_injected_message_delivered_once_in_time_order(
+        events in proptest::collection::vec((0u64..10_000, 0usize..4, 0u64..1000), 1..40)
+    ) {
+        let mut sim = Sim::new(Recorder::default(), Topology::gigabit_cluster(4));
+        for (at, dst, tag) in &events {
+            sim.inject(*at, *dst, *tag);
+        }
+        sim.run_to_idle(10_000);
+        prop_assert_eq!(sim.world.log.len(), events.len());
+        let times: Vec<u64> = sim.world.log.iter().map(|(t, _, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(times, sorted);
+        // Same multiset of tags.
+        let mut sent: Vec<u64> = events.iter().map(|(_, _, t)| *t).collect();
+        let mut got: Vec<u64> = sim.world.log.iter().map(|(_, _, t)| *t).collect();
+        sent.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(sent, got);
+    }
+
+    #[test]
+    fn link_conserves_bytes_and_orders_fifo(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..20)
+    ) {
+        let mut link = sod_net::Link::new(LinkSpec::gigabit());
+        let mut last_arrival = 0;
+        let mut total = 0;
+        for s in &sizes {
+            let a = link.transfer(0, *s);
+            prop_assert!(a >= last_arrival, "FIFO links never reorder");
+            last_arrival = a;
+            total += s;
+        }
+        prop_assert_eq!(link.bytes_carried, total);
+        // Total occupancy at least the sum of transmission times.
+        let min_busy: u64 = sizes.iter().map(|s| LinkSpec::gigabit().tx_time_ns(*s)).sum();
+        prop_assert!(link.busy_until() >= min_busy);
+    }
+
+    #[test]
+    fn relayed_chains_stay_deterministic(
+        seed_events in proptest::collection::vec((0u64..1_000, 0usize..3), 1..10)
+    ) {
+        struct Relay {
+            log: Vec<(u64, usize)>,
+        }
+        impl World for Relay {
+            type Msg = u32;
+            fn on_message(&mut self, dst: usize, hop: u32, ctx: &mut SimCtx<'_, u32>) {
+                self.log.push((ctx.now(), dst));
+                if hop > 0 {
+                    ctx.send(dst, (dst + 1) % 3, 256, hop - 1);
+                }
+            }
+        }
+        let run = |events: &[(u64, usize)]| -> Vec<(u64, usize)> {
+            let mut sim = Sim::new(Relay { log: Vec::new() }, Topology::gigabit_cluster(3));
+            for (at, dst) in events {
+                sim.inject(*at, *dst, 3);
+            }
+            sim.run_to_idle(100_000);
+            sim.world.log
+        };
+        prop_assert_eq!(run(&seed_events), run(&seed_events));
+    }
+}

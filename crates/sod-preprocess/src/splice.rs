@@ -1,0 +1,90 @@
+//! Shared utilities for code-splicing passes: pc remapping of branch
+//! targets, switch tables, and exception tables after instructions are
+//! inserted into a method body.
+
+use sod_vm::class::MethodDef;
+
+/// Remap all pc references in `method` through `map`, where `map[old_pc]`
+/// is the new index of the instruction originally at `old_pc`. Exception
+/// table `to` bounds (exclusive) map through `end_map`, which is `map`
+/// extended by one entry for `old_len`.
+pub fn remap_pcs(method: &mut MethodDef, map: &[u32], new_len: u32) {
+    let lookup = |old: u32| -> u32 { map.get(old as usize).copied().unwrap_or(new_len) };
+    for instr in &mut method.code {
+        instr.map_targets(lookup);
+    }
+    for table in &mut method.switches {
+        for (_, t) in &mut table.pairs {
+            *t = lookup(*t);
+        }
+        table.default = lookup(table.default);
+    }
+    for e in &mut method.ex_table {
+        e.from = lookup(e.from);
+        e.to = lookup(e.to);
+        e.target = lookup(e.target);
+    }
+}
+
+/// First pc of the source line containing `pc` (statement start).
+pub fn line_start(method: &MethodDef, pc: u32) -> u32 {
+    let line = method.line_of(pc);
+    let mut start = pc;
+    while start > 0 && method.line_of(start - 1) == line {
+        start -= 1;
+    }
+    start
+}
+
+/// Last line number used in the method (new handler code continues after
+/// it so handler instructions never merge into body statements).
+pub fn max_line(method: &MethodDef) -> u32 {
+    method.lines.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod_vm::class::{ExEntry, ExKind};
+    use sod_vm::instr::{Cmp, Instr, SwitchTable};
+
+    #[test]
+    fn remap_rewrites_everything() {
+        let mut m = MethodDef::new("m", 0, 0)
+            .with_code(
+                vec![
+                    Instr::Goto(2),
+                    Instr::If(Cmp::Eq, 0),
+                    Instr::Switch(0),
+                    Instr::Ret,
+                ],
+                vec![1, 2, 3, 4],
+            )
+            .with_switches(vec![SwitchTable {
+                pairs: vec![(5, 3)],
+                default: 1,
+            }])
+            .with_ex_table(vec![ExEntry::new(0, 3, 3, ExKind::NullPointer)]);
+        // Every original instruction moved 10 slots later.
+        let map: Vec<u32> = (0..4).map(|i| i + 10).collect();
+        remap_pcs(&mut m, &map, 20);
+        assert_eq!(m.code[0], Instr::Goto(12));
+        assert_eq!(m.code[1], Instr::If(Cmp::Eq, 10));
+        assert_eq!(m.switches[0].pairs[0].1, 13);
+        assert_eq!(m.switches[0].default, 11);
+        assert_eq!((m.ex_table[0].from, m.ex_table[0].to), (10, 13));
+        assert_eq!(m.ex_table[0].target, 13);
+    }
+
+    #[test]
+    fn line_start_scans_back() {
+        let m = MethodDef::new("m", 0, 0).with_code(
+            vec![Instr::Nop, Instr::Nop, Instr::Nop, Instr::Ret],
+            vec![1, 1, 2, 2],
+        );
+        assert_eq!(line_start(&m, 1), 0);
+        assert_eq!(line_start(&m, 0), 0);
+        assert_eq!(line_start(&m, 3), 2);
+        assert_eq!(max_line(&m), 2);
+    }
+}

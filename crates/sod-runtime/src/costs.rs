@@ -1,0 +1,98 @@
+//! Calibration constants for the SODEE runtime cost model.
+//!
+//! Everything here is a *virtual-time* cost in nanoseconds, calibrated so
+//! the reproduced tables land in the same regime as the paper's 2009
+//! testbed (2.53 GHz Xeons, Sun JDK 1.6, Gigabit Ethernet). Instruction and
+//! JVMTI costs live in `sod-vm` (`costs`, `tooling`); this module adds the
+//! middleware-level costs: Java serialization, class loading, JNI entry,
+//! and the portable (no-JVMTI) capture/restore path used for devices.
+
+use sod_net::time::{MS, US};
+
+/// Java serialization: per-byte cost of writing an object stream
+/// (G-JavaMPI's eager copy is dominated by this; 64 MB ≈ 450 ms).
+pub const SERIALIZE_PER_BYTE_NS: u64 = 7;
+
+/// Java deserialization per byte (reading is slower: allocation + fixup).
+pub const DESERIALIZE_PER_BYTE_NS: u64 = 15;
+
+/// Fixed cost of one serialization call (stream setup, reflection).
+pub const SERIALIZE_FIXED_NS: u64 = 20 * US;
+
+/// Loading + linking a shipped class: fixed part.
+pub const CLASS_LOAD_FIXED_NS: u64 = 900 * US;
+
+/// Loading + linking a shipped class: per byte of class file.
+pub const CLASS_LOAD_PER_BYTE_NS: u64 = 1;
+
+/// Worker-side fixed restore entry cost on the JVMTI path: JNI invoke of
+/// the bottom method + agent bookkeeping (paper restore ≈ 7–10 ms total,
+/// mostly class loading + per-frame handler execution).
+pub const RESTORE_FIXED_NS: u64 = 3 * MS;
+
+/// Establishing one frame via the breakpoint + InvalidStateException
+/// protocol: breakpoint arm + exception injection, beyond the instruction
+/// costs of the handler itself (charged by the VM in interpreted mode).
+pub const RESTORE_PER_FRAME_NS: u64 = 300 * US;
+
+/// Portable capture (no JVMTI at the destination): the state is saved with
+/// Java serialization into a portable format. Paper Table VII measures
+/// ≈ 13–14 ms regardless of bandwidth.
+pub const PORTABLE_CAPTURE_FIXED_NS: u64 = 12 * MS;
+
+/// Portable restore executed at Java level through reflection; multiplied
+/// by the device's CPU slowdown. Paper Table VII: 28–50 ms on a 412 MHz
+/// ARM.
+pub const PORTABLE_RESTORE_FIXED_NS: u64 = 2 * MS;
+
+/// Handling an object request on the home side: JVMTI lookup of the target
+/// object before serialization.
+pub const OBJ_LOOKUP_NS: u64 = 8 * US;
+
+/// Framing bytes added to a migration state message.
+pub const MIGRATION_MSG_FIXED_BYTES: u64 = 2048;
+
+/// Fixed handshake time before a migration state transfer begins (socket
+/// setup, worker rendezvous). The paper's Gigabit transfer times sit
+/// around 4–7 ms even for tiny states; at 50 kbps Wi-Fi the same
+/// handshake is negligible against the transmission time, matching
+/// Table VII's shape.
+pub const MIGRATION_HANDSHAKE_NS: u64 = 3_500_000;
+
+/// Execution-time scale (per-mille) of a JVM with the JVMTI agent attached
+/// but idle — the paper's C1 overhead of 0.1–3.2 %.
+pub const AGENT_IDLE_SCALE_PER_MILLE: u32 = 1005;
+
+/// Serialization cost of `bytes` of object data.
+pub fn serialize_ns(bytes: u64) -> u64 {
+    SERIALIZE_FIXED_NS + bytes * SERIALIZE_PER_BYTE_NS
+}
+
+/// Deserialization cost of `bytes` of object data.
+pub fn deserialize_ns(bytes: u64) -> u64 {
+    SERIALIZE_FIXED_NS + bytes * DESERIALIZE_PER_BYTE_NS
+}
+
+/// Class load cost for a class file of `bytes`.
+pub fn class_load_ns(bytes: u64) -> u64 {
+    CLASS_LOAD_FIXED_NS + bytes * CLASS_LOAD_PER_BYTE_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_dominates_for_big_heaps() {
+        // 64 MB serialized ≈ 450 ms — the G-JavaMPI FFT pathology.
+        let t = serialize_ns(64 << 20);
+        assert!(t > 400 * MS && t < 600 * MS, "{t}");
+    }
+
+    #[test]
+    fn class_load_reasonable() {
+        // A 4 kB class loads in ~1 ms.
+        let t = class_load_ns(4096);
+        assert!(t > 500 * US && t < 2 * MS);
+    }
+}

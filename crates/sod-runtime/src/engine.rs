@@ -1,0 +1,1798 @@
+//! The SODEE engine: nodes, migration managers, and object managers wired
+//! into the discrete-event simulator.
+//!
+//! One [`Cluster`] implements [`sod_net::World`]; the driver ([`SodSim`])
+//! injects `StartProgram` / `MigrateNow` / `ClientRequest` events and runs
+//! the simulation to idle. Execution proceeds in bounded virtual-time
+//! *slices* per thread, so message arrivals (migration requests, object
+//! replies) interleave with guest execution deterministically.
+//!
+//! ## Migration flow (paper §III)
+//!
+//! 1. `MigrateNow` sets a pending plan; the thread stops at the next
+//!    migration-safe point.
+//! 2. The migration manager captures the top frames via the tooling
+//!    interface (JVMTI costs, or the portable serialization path when the
+//!    destination lacks JVMTI), splitting them into the plan's segments —
+//!    one freeze, concurrent shipping (Fig. 1c).
+//! 3. Each destination loads missing classes (bundled top-frame class
+//!    first, the rest on demand), then re-establishes the frames: the
+//!    breakpoint + `InvalidStateException` + restoration-handler protocol
+//!    on JVMTI nodes, or an exact direct restore for restore-ahead workflow
+//!    segments and no-JVMTI devices.
+//! 4. Object faults travel to the *home* node's object manager, which
+//!    serializes the master copy back (heap-on-demand).
+//! 5. When a segment's last frame pops, dirty/new objects flush home and
+//!    the return value routes to the next segment (workflow) or back home,
+//!    where `ForceEarlyReturn` pops the stale frames and execution resumes.
+
+use std::collections::{HashMap, HashSet};
+
+use sod_net::{Sim, SimCtx, Topology, World};
+use sod_vm::capture::{
+    begin_handler_restore, capture_segment, restore_segment_direct, CapturedState, CapturedValue,
+};
+use sod_vm::class::ExKind;
+use sod_vm::interp::{ExceptionInfo, RunMode, StepOutcome};
+use sod_vm::tooling::{jvmti, ToolingPath};
+use sod_vm::value::{ObjId, Value};
+use sod_vm::wire::{class_wire_bytes, extract_closure, extract_dirty, extract_object, install_object, WireObject};
+
+use crate::costs;
+use crate::metrics::{MigrationTimings, RunReport};
+use crate::msg::{
+    FsOp, HostReply, MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, SessionId,
+};
+use crate::node::Node;
+
+/// Worker-created objects are flushed home under temporary ids at/above
+/// this base until the home node assigns master ids.
+pub const TEMP_ID_BASE: ObjId = 1 << 30;
+
+/// Default execution slice: how much virtual time a thread runs per event.
+pub const DEFAULT_SLICE_NS: u64 = 100_000; // 100 µs
+
+/// Payload size of small control messages (requests, acks).
+const CONTROL_MSG_BYTES: u64 = 128;
+
+
+
+
+
+/// On-demand fetch policy (ablation axis; the paper's default is shallow
+/// per-object fetching).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FetchPolicy {
+    /// Fetch exactly the missed object.
+    #[default]
+    Shallow,
+    /// Fetch the transitive closure of the missed object (eager subgraph).
+    Deep,
+}
+
+/// A registered program (one root thread).
+pub struct Program {
+    pub home: usize,
+    pub home_tid: usize,
+    pub class: String,
+    pub method: String,
+    pub args: Vec<Value>,
+    pub report: RunReport,
+    pub done: bool,
+    pub error: Option<String>,
+    pub fetch_policy: FetchPolicy,
+    /// Exception-driven offload: on an unhandled `OutOfMemoryError`, roll
+    /// back to the statement start and migrate the whole stack there.
+    pub oom_offload_to: Option<usize>,
+    pending_plan: Option<MigrationPlan>,
+    /// The home thread's stack is frozen while its top segment executes
+    /// remotely; stale run slices must not wake it.
+    suspended: bool,
+    t_request: u64,
+    staged: Vec<StagedSegment>,
+}
+
+struct StagedSegment {
+    dest: usize,
+    info: SegmentInfo,
+    state: CapturedState,
+    bundled: Vec<sod_vm::class::ClassDef>,
+    state_bytes: u64,
+    class_bytes: u64,
+    capture_ns: u64,
+}
+
+/// Worker-session lifecycle.
+enum WorkerPhase {
+    AwaitClasses { missing: HashSet<String> },
+    Restoring { restored: usize },
+    /// Restore-ahead workflow segment awaiting the return value of the
+    /// segment above.
+    Waiting,
+    Running,
+    /// Roaming: flush sent, awaiting id assignments before capture.
+    AwaitRoamAck { dest: usize },
+    /// Completion flush with ack (reference-valued return), awaiting ids.
+    AwaitCompleteAck { retval: Option<CapturedValue> },
+    Done,
+}
+
+struct WorkerSession {
+    program: ProgramId,
+    #[allow(dead_code)]
+    session: SessionId,
+    node: usize,
+    home: usize,
+    tid: usize,
+    return_to: ReturnTarget,
+    nframes: usize,
+    wait_for_return: bool,
+    state: CapturedState,
+    phase: WorkerPhase,
+    timings: MigrationTimings,
+    arrived_at: u64,
+    /// Post-arrival time spent waiting for on-demand classes (excluded
+    /// from restore time, like the paper's transfer accounting).
+    class_wait_ns: u64,
+    pending_roam: Option<usize>,
+}
+
+enum Owner {
+    Root(ProgramId),
+    Worker(SessionId),
+}
+
+/// The cluster: all nodes plus global program/session bookkeeping.
+pub struct Cluster {
+    pub nodes: Vec<Node>,
+    pub programs: Vec<Program>,
+    sessions: HashMap<SessionId, WorkerSession>,
+    thread_owner: HashMap<(usize, usize), Owner>,
+    next_session: SessionId,
+    pub slice_ns: u64,
+}
+
+impl Cluster {
+    pub fn new(nodes: Vec<Node>) -> Self {
+        Cluster {
+            nodes,
+            programs: Vec::new(),
+            sessions: HashMap::new(),
+            thread_owner: HashMap::new(),
+            next_session: 1,
+            slice_ns: DEFAULT_SLICE_NS,
+        }
+    }
+
+    /// Register a program rooted at `home`.
+    pub fn add_program(
+        &mut self,
+        home: usize,
+        class: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Value>,
+    ) -> ProgramId {
+        self.programs.push(Program {
+            home,
+            home_tid: usize::MAX,
+            class: class.into(),
+            method: method.into(),
+            args,
+            report: RunReport::default(),
+            done: false,
+            error: None,
+            fetch_policy: FetchPolicy::Shallow,
+            oom_offload_to: None,
+            pending_plan: None,
+            suspended: false,
+            t_request: 0,
+            staged: Vec::new(),
+        });
+        (self.programs.len() - 1) as ProgramId
+    }
+
+    fn alloc_session(&mut self) -> SessionId {
+        let s = self.next_session;
+        self.next_session += 1;
+        s
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.vm.instr_count).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution slices
+    // ------------------------------------------------------------------
+
+    fn run_slice(&mut self, node: usize, tid: usize, ctx: &mut SimCtx<'_, Msg>) {
+        let runnable = self.nodes[node]
+            .vm
+            .thread(tid)
+            .map(|t| t.is_runnable())
+            .unwrap_or(false);
+        if !runnable {
+            return; // stale slice: thread parked, finished, or mid-protocol
+        }
+        let owner_pending = match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Root(p)) => {
+                if self.programs[*p as usize].suspended {
+                    return; // frozen while the segment executes remotely
+                }
+                self.programs[*p as usize].pending_plan.is_some()
+            }
+            Some(Owner::Worker(s)) => self
+                .sessions
+                .get(s)
+                .map(|w| w.pending_roam.is_some())
+                .unwrap_or(false),
+            // Unowned threads (retired roaming workers) never run.
+            None => return,
+        };
+        let mode = if owner_pending {
+            RunMode::StopAtMsp
+        } else {
+            RunMode::Normal
+        };
+        let slice = self.slice_ns;
+        let (out, spent) = self.nodes[node]
+            .vm
+            .run(tid, slice, mode)
+            .expect("vm run failed");
+        let elapsed = self.nodes[node].cfg.scale(spent).max(1);
+
+        // Finish a handler-protocol restore once the thread executes
+        // anything past the last re-established frame (including returning
+        // immediately for very short segments).
+        if !matches!(out, StepOutcome::Breakpoint { .. }) {
+            self.maybe_finish_restore(node, tid, elapsed, ctx);
+        }
+
+        match out {
+            StepOutcome::Continue => {
+                ctx.schedule(elapsed, node, Msg::RunSlice { tid });
+            }
+            StepOutcome::AtMsp { .. } => self.at_msp(node, tid, elapsed, ctx),
+            StepOutcome::HostCall { name, args } => {
+                self.host_call(node, tid, &name, &args, elapsed, ctx)
+            }
+            StepOutcome::ObjectFault(q) => {
+                let sid = self.worker_of(node, tid);
+                let w = &self.sessions[&sid];
+                let home = w.home;
+                ctx.send_after(
+                    elapsed,
+                    node,
+                    home,
+                    CONTROL_MSG_BYTES,
+                    Msg::ObjectRequest {
+                        session: sid,
+                        requester: node,
+                        home_id: q.home_id,
+                    },
+                );
+            }
+            StepOutcome::ClassMiss(name) => self.class_miss(node, tid, name, elapsed, ctx),
+            StepOutcome::Returned(v) => self.thread_returned(node, tid, v, elapsed, ctx),
+            StepOutcome::Unhandled(e) => self.thread_faulted(node, tid, e, elapsed, ctx),
+            StepOutcome::Breakpoint { .. } => self.restore_breakpoint(node, tid, elapsed, ctx),
+        }
+    }
+
+    fn worker_of(&self, node: usize, tid: usize) -> SessionId {
+        match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Worker(s)) => *s,
+            _ => panic!("thread ({node},{tid}) is not a worker session"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration-safe point reached with a pending plan
+    // ------------------------------------------------------------------
+
+    fn at_msp(&mut self, node: usize, tid: usize, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+        match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Root(p)) => {
+                let program = *p;
+                let plan = self.programs[program as usize]
+                    .pending_plan
+                    .take()
+                    .expect("at_msp without plan");
+                self.capture_and_stage(node, tid, program, &plan, elapsed, ctx);
+            }
+            Some(Owner::Worker(s)) => {
+                let sid = *s;
+                self.begin_roam(node, tid, sid, elapsed, ctx);
+            }
+            None => panic!("MSP stop for unowned thread"),
+        }
+    }
+
+    /// Home-side capture: one freeze, segments staged, `CaptureDone` timer.
+    fn capture_and_stage(
+        &mut self,
+        node: usize,
+        tid: usize,
+        program: ProgramId,
+        plan: &MigrationPlan,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let height = self.nodes[node].vm.thread(tid).unwrap().frames.len();
+        let total: usize = plan.total_frames().min(height);
+
+        // Destination capability decides the capture path (Table VII).
+        let all_jvmti = plan
+            .segments
+            .iter()
+            .all(|s| self.nodes[s.dest].cfg.has_jvmti);
+        let path = ToolingPath::Jvmti;
+        let (full, tool_ns) =
+            capture_segment(&mut self.nodes[node].vm, tid, total, path).expect("capture failed");
+        let state_bytes_full = full.wire_bytes();
+        let capture_ns = if all_jvmti {
+            self.nodes[node].cfg.scale(tool_ns)
+        } else {
+            // Portable path: JVMTI read + Java serialization into a
+            // portable format restorable without JVMTI.
+            self.nodes[node]
+                .cfg
+                .scale(costs::PORTABLE_CAPTURE_FIXED_NS + costs::serialize_ns(state_bytes_full))
+        };
+
+        // Split bottom-up frames into the plan's segments (top first).
+        let mut frames = full.frames;
+        let statics = full.statics;
+        let mut segments_frames: Vec<Vec<sod_vm::capture::CapturedFrame>> = Vec::new();
+        for spec in &plan.segments {
+            let k = spec.nframes.min(frames.len());
+            let rest = frames.split_off(frames.len() - k);
+            segments_frames.push(rest);
+        }
+
+        // Pre-allocate session ids so return targets can chain.
+        let sids: Vec<SessionId> = plan.segments.iter().map(|_| self.alloc_session()).collect();
+        let p = &mut self.programs[program as usize];
+        p.staged.clear();
+        for (i, spec) in plan.segments.iter().enumerate() {
+            let seg_frames = segments_frames[i].clone();
+            if seg_frames.is_empty() {
+                continue;
+            }
+            let state = CapturedState {
+                frames: seg_frames,
+                statics: statics.clone(),
+            };
+            let return_to = if i + 1 < plan.segments.len() {
+                ReturnTarget::Session {
+                    node: plan.segments[i + 1].dest,
+                    session: sids[i + 1],
+                }
+            } else {
+                ReturnTarget::Home { node }
+            };
+            // Bundle the top frame's class (paper ships it with the state).
+            let top_class_name = state.frames.last().unwrap().class.clone();
+            let bundled: Vec<_> = self.nodes[node]
+                .repo
+                .get(&top_class_name)
+                .cloned()
+                .into_iter()
+                .collect();
+            let class_bytes: u64 = bundled.iter().map(class_wire_bytes).sum();
+            let info = SegmentInfo {
+                program,
+                session: sids[i],
+                home: node,
+                return_to,
+                nframes: state.frames.len(),
+                wait_for_return: i > 0,
+            };
+            let state_bytes = state.wire_bytes();
+            self.programs[program as usize].staged.push(StagedSegment {
+                dest: spec.dest,
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+            });
+        }
+
+        self.programs[program as usize].t_request = ctx.now() + elapsed;
+        self.programs[program as usize].suspended = true;
+        ctx.schedule(elapsed + capture_ns, node, Msg::CaptureDone { program });
+    }
+
+    /// Freeze complete: ship every staged segment concurrently.
+    fn capture_done(&mut self, program: ProgramId, ctx: &mut SimCtx<'_, Msg>) {
+        let home = self.programs[program as usize].home;
+        let staged = std::mem::take(&mut self.programs[program as usize].staged);
+        for seg in staged {
+            ctx.send_after(
+                costs::MIGRATION_HANDSHAKE_NS,
+                home,
+                seg.dest,
+                seg.state_bytes + seg.class_bytes + costs::MIGRATION_MSG_FIXED_BYTES,
+                Msg::State {
+                    info: seg.info,
+                    state: seg.state,
+                    bundled: seg.bundled,
+                    state_bytes: seg.state_bytes,
+                    class_bytes: seg.class_bytes,
+                    capture_ns: seg.capture_ns,
+                    sent_at: ctx.now(),
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host intrinsics
+    // ------------------------------------------------------------------
+
+    fn host_call(
+        &mut self,
+        node: usize,
+        tid: usize,
+        name: &str,
+        args: &[Value],
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let str_arg = |c: &Cluster, i: usize| -> String {
+            match args.get(i) {
+                Some(Value::Ref(id)) => c.nodes[node]
+                    .vm
+                    .heap
+                    .get_str(*id)
+                    .map(str::to_owned)
+                    .unwrap_or_default(),
+                _ => String::new(),
+            }
+        };
+        match name {
+            "clock_ns" => ctx.schedule(
+                elapsed,
+                node,
+                Msg::HostDone {
+                    tid,
+                    reply: HostReply::Int((ctx.now() + elapsed) as i64),
+                },
+            ),
+            "node_id" => ctx.schedule(
+                elapsed,
+                node,
+                Msg::HostDone {
+                    tid,
+                    reply: HostReply::Int(node as i64),
+                },
+            ),
+            "sod_move" => {
+                let dest = args
+                    .first()
+                    .and_then(|v| v.as_int().ok())
+                    .unwrap_or(node as i64) as usize;
+                if dest != node && dest < self.nodes.len() {
+                    match self.thread_owner.get(&(node, tid)) {
+                        Some(Owner::Root(p)) => {
+                            let p = *p;
+                            self.programs[p as usize].pending_plan =
+                                Some(MigrationPlan::top_to(dest, 1));
+                            self.programs[p as usize].t_request = ctx.now();
+                        }
+                        Some(Owner::Worker(s)) => {
+                            let s = *s;
+                            self.sessions.get_mut(&s).unwrap().pending_roam = Some(dest);
+                        }
+                        None => {}
+                    }
+                }
+                ctx.schedule(
+                    elapsed,
+                    node,
+                    Msg::HostDone {
+                        tid,
+                        reply: HostReply::Int(0),
+                    },
+                );
+            }
+            "fs_size" => {
+                let path = str_arg(self, 0);
+                let meta = self.lookup_file(node, &path);
+                let bytes = meta.map(|(m, _)| m.bytes as i64).unwrap_or(-1);
+                ctx.schedule(
+                    elapsed + 50_000,
+                    node,
+                    Msg::HostDone {
+                        tid,
+                        reply: HostReply::Int(bytes),
+                    },
+                );
+            }
+            "fs_list" => {
+                let dir = str_arg(self, 0);
+                // Listing consults the local view plus mounted servers.
+                let mut entries = self.nodes[node].fs.list(&dir);
+                if let Some(server) = self.nodes[node].fs.serving_node(&dir) {
+                    entries = self.nodes[server].fs.list(&dir);
+                }
+                ctx.schedule(
+                    elapsed + 200_000,
+                    node,
+                    Msg::HostDone {
+                        tid,
+                        reply: HostReply::List(entries),
+                    },
+                );
+            }
+            "fs_search" | "fs_read" => {
+                let path = str_arg(self, 0);
+                let op = if name == "fs_search" {
+                    FsOp::Search
+                } else {
+                    FsOp::Read
+                };
+                match self.lookup_file(node, &path) {
+                    Some((meta, None)) => {
+                        // Local file: disk + scan.
+                        let disk = self.nodes[node].fs.disk_read_ns(meta.bytes);
+                        let scan = self.scan_ns(node, meta.bytes);
+                        let reply = match op {
+                            FsOp::Search => HostReply::Int(
+                                meta.match_at.map(|p| p as i64).unwrap_or(-1),
+                            ),
+                            FsOp::Read => HostReply::Int(meta.bytes as i64),
+                        };
+                        ctx.schedule(
+                            elapsed + disk + scan,
+                            node,
+                            Msg::HostDone { tid, reply },
+                        );
+                    }
+                    Some((_meta, Some(server))) => {
+                        // NFS: request to the serving node; bytes stream back.
+                        ctx.send_after(
+                            elapsed,
+                            node,
+                            server,
+                            CONTROL_MSG_BYTES,
+                            Msg::FsRead {
+                                requester: node,
+                                tid,
+                                path,
+                                op,
+                            },
+                        );
+                    }
+                    None => ctx.schedule(
+                        elapsed,
+                        node,
+                        Msg::HostDone {
+                            tid,
+                            reply: HostReply::Int(-1),
+                        },
+                    ),
+                }
+            }
+            "sock_accept" => {
+                if let Some(req) = pop_front(&mut self.nodes[node].sock_queue) {
+                    ctx.schedule(
+                        elapsed,
+                        node,
+                        Msg::HostDone {
+                            tid,
+                            reply: HostReply::Str(req),
+                        },
+                    );
+                } else {
+                    self.nodes[node].sock_waiters.push(tid);
+                }
+            }
+            "sock_send" => {
+                let payload = str_arg(self, 0);
+                // Response leaves on the node's uplink; cost modelled as a
+                // flat per-byte charge (clients are outside the cluster).
+                let cost = 100_000 + payload.len() as u64 * 8;
+                ctx.schedule(
+                    elapsed + cost,
+                    node,
+                    Msg::HostDone {
+                        tid,
+                        reply: HostReply::Int(payload.len() as i64),
+                    },
+                );
+            }
+            other => panic!("unknown host intrinsic {other}"),
+        }
+    }
+
+    /// Resolve a path on `node`: `(meta, Some(server))` for mounted paths.
+    fn lookup_file(&self, node: usize, path: &str) -> Option<(crate::fs::FileMeta, Option<usize>)> {
+        if let Some(server) = self.nodes[node].fs.serving_node(path) {
+            self.nodes[server]
+                .fs
+                .file(path)
+                .cloned()
+                .map(|m| (m, Some(server)))
+        } else {
+            self.nodes[node].fs.file(path).cloned().map(|m| (m, None))
+        }
+    }
+
+    /// CPU time to scan `bytes` on `node` (I/O-efficiency modelling).
+    fn scan_ns(&self, node: usize, bytes: u64) -> u64 {
+        self.nodes[node]
+            .cfg
+            .scale(bytes * self.nodes[node].cfg.io_scan_ns_per_byte_x100 / 100)
+    }
+
+    // ------------------------------------------------------------------
+    // Class shipping
+    // ------------------------------------------------------------------
+
+    fn class_miss(
+        &mut self,
+        node: usize,
+        tid: usize,
+        name: String,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Root(p)) => {
+                // Home: lazy local load from the repository.
+                let program = *p;
+                let Some(class) = self.nodes[node].repo.get(&name).cloned() else {
+                    self.fail_program(program, format!("class not found: {name}"), ctx);
+                    return;
+                };
+                let cost = costs::class_load_ns(class_wire_bytes(&class));
+                self.nodes[node].vm.load_class(&class).expect("load");
+                self.nodes[node].vm.resume_class_loaded(tid).expect("resume");
+                ctx.schedule(
+                    elapsed + self.nodes[node].cfg.scale(cost),
+                    node,
+                    Msg::RunSlice { tid },
+                );
+            }
+            Some(Owner::Worker(s)) => {
+                let sid = *s;
+                let home = self.sessions[&sid].home;
+                self.programs[self.sessions[&sid].program as usize]
+                    .report
+                    .classes_shipped += 1;
+                ctx.send_after(
+                    elapsed,
+                    node,
+                    home,
+                    CONTROL_MSG_BYTES,
+                    Msg::ClassRequest {
+                        session: sid,
+                        requester: node,
+                        name,
+                    },
+                );
+            }
+            None => panic!("class miss on unowned thread"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Thread completion / faults
+    // ------------------------------------------------------------------
+
+    fn thread_returned(
+        &mut self,
+        node: usize,
+        tid: usize,
+        retval: Option<Value>,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Root(p)) => {
+                let program = *p;
+                self.finish_program(program, retval, ctx.now() + elapsed);
+            }
+            Some(Owner::Worker(s)) => {
+                let sid = *s;
+                self.segment_completed(node, tid, sid, retval, elapsed, ctx);
+            }
+            None => {}
+        }
+    }
+
+    fn thread_faulted(
+        &mut self,
+        node: usize,
+        tid: usize,
+        e: ExceptionInfo,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        if let Some(Owner::Root(p)) = self.thread_owner.get(&(node, tid)) {
+            let program = *p;
+            let offload = self.programs[program as usize].oom_offload_to;
+            if e.kind == ExKind::OutOfMemory {
+                if let Some(cloud) = offload {
+                    // Exception-driven offload: roll the faulting statement
+                    // back and push the whole stack to the cloud.
+                    let height = self.nodes[node].vm.thread(tid).unwrap().frames.len();
+                    rollback_to_statement_start(&mut self.nodes[node].vm, tid);
+                    self.programs[program as usize].pending_plan =
+                        Some(MigrationPlan::top_to(cloud, height));
+                    self.programs[program as usize].t_request = ctx.now() + elapsed;
+                    ctx.schedule(elapsed, node, Msg::RunSlice { tid });
+                    return;
+                }
+            }
+            self.fail_program(program, format!("unhandled {:?}: {}", e.kind, e.message), ctx);
+        } else {
+            let sid = self.worker_of(node, tid);
+            let program = self.sessions[&sid].program;
+            self.fail_program(program, format!("worker fault {:?}: {}", e.kind, e.message), ctx);
+        }
+    }
+
+    fn finish_program(&mut self, program: ProgramId, retval: Option<Value>, at: u64) {
+        let instr = self.total_instructions();
+        let p = &mut self.programs[program as usize];
+        if p.done {
+            return;
+        }
+        p.done = true;
+        p.report.finished_at_ns = at;
+        p.report.result = retval.and_then(|v| match v {
+            Value::Int(i) => Some(i),
+            Value::Num(n) => Some(n as i64),
+            _ => None,
+        });
+        p.report.instructions = instr;
+        let (home, home_tid) = (p.home, p.home_tid);
+        if let Ok(t) = self.nodes[home].vm.thread(home_tid) {
+            self.programs[program as usize].report.max_stack_height = t.max_height;
+        }
+    }
+
+    fn fail_program(&mut self, program: ProgramId, error: String, ctx: &mut SimCtx<'_, Msg>) {
+        let p = &mut self.programs[program as usize];
+        p.done = true;
+        p.error = Some(error);
+        p.report.finished_at_ns = ctx.now();
+    }
+
+    // ------------------------------------------------------------------
+    // Segment completion: flush + return routing
+    // ------------------------------------------------------------------
+
+    fn segment_completed(
+        &mut self,
+        node: usize,
+        tid: usize,
+        sid: SessionId,
+        retval: Option<Value>,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let (program, home) = {
+            let w = &self.sessions[&sid];
+            (w.program, w.home)
+        };
+        let (flush, flush_bytes) = collect_flush(&mut self.nodes[node].vm, retval);
+        let retval_cap = retval.map(|v| export_with_temps(&self.nodes[node].vm, v));
+        let needs_ack = matches!(retval_cap, Some(CapturedValue::HomeRef(h)) if h >= TEMP_ID_BASE);
+        let ser = costs::serialize_ns(flush_bytes.max(1));
+        let cost = elapsed + self.nodes[node].cfg.scale(ser);
+
+        self.programs[program as usize].report.object_bytes += flush_bytes;
+
+        if needs_ack {
+            self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::AwaitCompleteAck {
+                retval: retval_cap,
+            };
+            ctx.send_after(
+                cost,
+                node,
+                home,
+                flush_bytes + CONTROL_MSG_BYTES,
+                Msg::Flush {
+                    program,
+                    objects: flush,
+                    ack_to: Some((node, sid)),
+                },
+            );
+        } else {
+            if !flush.is_empty() {
+                ctx.send_after(
+                    cost,
+                    node,
+                    home,
+                    flush_bytes + CONTROL_MSG_BYTES,
+                    Msg::Flush {
+                        program,
+                        objects: flush,
+                        ack_to: None,
+                    },
+                );
+            }
+            self.send_segment_return(sid, retval_cap, cost, ctx);
+        }
+        let _ = tid;
+    }
+
+    fn send_segment_return(
+        &mut self,
+        sid: SessionId,
+        retval: Option<CapturedValue>,
+        delay: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let w = self.sessions.get_mut(&sid).unwrap();
+        w.phase = WorkerPhase::Done;
+        let (program, node, target, nframes) = (w.program, w.node, w.return_to, w.nframes);
+        let dest = match target {
+            ReturnTarget::Home { node } => node,
+            ReturnTarget::Session { node, .. } => node,
+        };
+        ctx.send_after(
+            delay,
+            node,
+            dest,
+            CONTROL_MSG_BYTES,
+            Msg::SegmentReturn {
+                program,
+                session: sid,
+                target,
+                retval,
+                pop_frames: nframes,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Roaming (worker → worker hops)
+    // ------------------------------------------------------------------
+
+    fn begin_roam(&mut self, node: usize, tid: usize, sid: SessionId, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+        let dest = self.sessions[&sid].pending_roam.expect("roam dest");
+        let (flush, flush_bytes) = collect_flush(&mut self.nodes[node].vm, None);
+        let program = self.sessions[&sid].program;
+        let home = self.sessions[&sid].home;
+        if flush.is_empty() {
+            // Nothing to reconcile: capture immediately.
+            self.roam_capture_and_ship(node, tid, sid, dest, elapsed, ctx);
+        } else {
+            self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::AwaitRoamAck { dest };
+            let ser = self.nodes[node].cfg.scale(costs::serialize_ns(flush_bytes));
+            ctx.send_after(
+                elapsed + ser,
+                node,
+                home,
+                flush_bytes + CONTROL_MSG_BYTES,
+                Msg::Flush {
+                    program,
+                    objects: flush,
+                    ack_to: Some((node, sid)),
+                },
+            );
+        }
+    }
+
+    fn roam_capture_and_ship(
+        &mut self,
+        node: usize,
+        tid: usize,
+        sid: SessionId,
+        dest: usize,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        self.sessions.get_mut(&sid).unwrap().pending_roam = None;
+        let nframes = self.nodes[node].vm.thread(tid).unwrap().frames.len();
+        let (state, tool_ns) =
+            capture_segment(&mut self.nodes[node].vm, tid, nframes, ToolingPath::Jvmti)
+                .expect("roam capture");
+        let dest_jvmti = self.nodes[dest].cfg.has_jvmti;
+        let capture_ns = if dest_jvmti {
+            self.nodes[node].cfg.scale(tool_ns)
+        } else {
+            self.nodes[node]
+                .cfg
+                .scale(costs::PORTABLE_CAPTURE_FIXED_NS + costs::serialize_ns(state.wire_bytes()))
+        };
+
+        let (program, home, return_to) = {
+            let w = &self.sessions[&sid];
+            (w.program, w.home, w.return_to)
+        };
+        let new_sid = self.alloc_session();
+        let top_class = state.frames.last().unwrap().class.clone();
+        let bundled: Vec<_> = self.nodes[home]
+            .repo
+            .get(&top_class)
+            .cloned()
+            .into_iter()
+            .collect();
+        let class_bytes: u64 = bundled.iter().map(class_wire_bytes).sum();
+        let state_bytes = state.wire_bytes();
+        let info = SegmentInfo {
+            program,
+            session: new_sid,
+            home,
+            return_to,
+            nframes: state.frames.len(),
+            wait_for_return: false,
+        };
+        // Retire the old session & thread.
+        self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::Done;
+        self.thread_owner.remove(&(node, tid));
+
+        let sent_at = ctx.now() + elapsed + capture_ns;
+        ctx.send_after(
+            elapsed + capture_ns + costs::MIGRATION_HANDSHAKE_NS,
+            node,
+            dest,
+            state_bytes + class_bytes + costs::MIGRATION_MSG_FIXED_BYTES,
+            Msg::State {
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+                sent_at,
+            },
+        );
+    }
+}
+
+impl Cluster {
+    // ------------------------------------------------------------------
+    // Segment arrival & restore
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn state_arrived(
+        &mut self,
+        node: usize,
+        info: SegmentInfo,
+        state: CapturedState,
+        bundled: Vec<sod_vm::class::ClassDef>,
+        state_bytes: u64,
+        class_bytes: u64,
+        capture_ns: u64,
+        sent_at: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let arrived = ctx.now();
+        let window = arrived.saturating_sub(sent_at);
+        let total_b = (state_bytes + class_bytes).max(1);
+        let timings = MigrationTimings {
+            capture_ns,
+            transfer_state_ns: window * state_bytes / total_b,
+            transfer_class_ns: window * class_bytes / total_b,
+            restore_ns: 0,
+            state_bytes,
+            class_bytes,
+        };
+
+        // Bundled classes load immediately (charged into the prep time).
+        let mut prep = self.nodes[node]
+            .cfg
+            .scale(costs::deserialize_ns(state_bytes));
+        for c in &bundled {
+            if !self.nodes[node].vm.has_class(&c.name) {
+                prep += self.nodes[node]
+                    .cfg
+                    .scale(costs::class_load_ns(class_wire_bytes(c)));
+                self.nodes[node].vm.load_class(c).expect("bundled class");
+            }
+            self.nodes[node].repo.insert(c.name.clone(), c.clone());
+        }
+
+        // Remaining classes referenced by the segment ship on demand.
+        let mut missing: HashSet<String> = HashSet::new();
+        for f in &state.frames {
+            if !self.nodes[node].vm.has_class(&f.class) {
+                missing.insert(f.class.clone());
+            }
+        }
+        for s in &state.statics {
+            if !self.nodes[node].vm.has_class(&s.class) {
+                missing.insert(s.class.clone());
+            }
+        }
+
+        let sid = info.session;
+        let session = WorkerSession {
+            program: info.program,
+            session: sid,
+            node,
+            home: info.home,
+            tid: usize::MAX,
+            return_to: info.return_to,
+            nframes: info.nframes,
+            wait_for_return: info.wait_for_return,
+            state,
+            phase: WorkerPhase::AwaitClasses {
+                missing: missing.clone(),
+            },
+            timings,
+            arrived_at: arrived,
+            class_wait_ns: 0,
+            pending_roam: None,
+        };
+        self.sessions.insert(sid, session);
+
+        if missing.is_empty() {
+            ctx.schedule(prep, node, Msg::BeginRestore { session: sid });
+        } else {
+            let home = info.home;
+            for name in missing {
+                self.programs[info.program as usize].report.classes_shipped += 1;
+                ctx.send_after(
+                    prep,
+                    node,
+                    home,
+                    CONTROL_MSG_BYTES,
+                    Msg::ClassRequest {
+                        session: sid,
+                        requester: node,
+                        name,
+                    },
+                );
+            }
+        }
+    }
+
+    fn begin_restore(&mut self, sid: SessionId, ctx: &mut SimCtx<'_, Msg>) {
+        let (node, wait, nframes, has_jvmti) = {
+            let w = &self.sessions[&sid];
+            (
+                w.node,
+                w.wait_for_return,
+                w.nframes,
+                self.nodes[w.node].cfg.has_jvmti,
+            )
+        };
+        let use_handlers = has_jvmti && !wait;
+        if use_handlers {
+            // The paper's portable protocol: JNI-invoke the bottom method,
+            // arm a breakpoint, and let InvalidStateException handlers
+            // rebuild the frames (costs accrue through interpreted-mode
+            // execution plus per-frame tooling charges).
+            let state = self.sessions[&sid].state.clone();
+            let tid = begin_handler_restore(&mut self.nodes[node].vm, &state)
+                .expect("handler restore begins");
+            self.nodes[node].vm.interp_mode = true;
+            self.thread_owner.insert((node, tid), Owner::Worker(sid));
+            let w = self.sessions.get_mut(&sid).unwrap();
+            w.tid = tid;
+            w.phase = WorkerPhase::Restoring { restored: 0 };
+            let fixed = self.nodes[node]
+                .cfg
+                .scale(costs::RESTORE_FIXED_NS + jvmti::JNI_INVOKE_NS);
+            ctx.schedule(fixed, node, Msg::RunSlice { tid });
+        } else {
+            // Exact direct restore: restore-ahead workflow segments (must
+            // not re-execute invokes) and no-JVMTI devices (Java-level
+            // reflective restore).
+            let state = self.sessions[&sid].state.clone();
+            let tid = restore_segment_direct(&mut self.nodes[node].vm, &state)
+                .expect("direct restore");
+            self.thread_owner.insert((node, tid), Owner::Worker(sid));
+            let base = if has_jvmti {
+                costs::RESTORE_FIXED_NS + nframes as u64 * costs::RESTORE_PER_FRAME_NS
+            } else {
+                costs::PORTABLE_RESTORE_FIXED_NS
+                    + nframes as u64 * costs::RESTORE_PER_FRAME_NS
+                    + costs::deserialize_ns(self.sessions[&sid].timings.state_bytes)
+            };
+            let cost = self.nodes[node].cfg.scale(base);
+            let arrived = self.sessions[&sid].arrived_at;
+            let class_wait = self.sessions[&sid].class_wait_ns;
+            let w = self.sessions.get_mut(&sid).unwrap();
+            w.tid = tid;
+            w.timings.restore_ns = (ctx.now() + cost)
+                .saturating_sub(arrived)
+                .saturating_sub(class_wait);
+            let timings = w.timings;
+            let program = w.program;
+            if wait {
+                w.phase = WorkerPhase::Waiting;
+            } else {
+                w.phase = WorkerPhase::Running;
+                ctx.schedule(cost, node, Msg::RunSlice { tid });
+            }
+            self.programs[program as usize].report.migrations.push(timings);
+        }
+    }
+
+    fn restore_breakpoint(&mut self, node: usize, tid: usize, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+        let sid = self.worker_of(node, tid);
+        let (restored, nframes) = {
+            let w = &self.sessions[&sid];
+            match &w.phase {
+                WorkerPhase::Restoring { restored, .. } => (*restored, w.nframes),
+                _ => panic!("breakpoint outside restore"),
+            }
+        };
+        // cbBreakpoint (paper Fig. 4b): set the next frame's breakpoint,
+        // point the restore cursor at this frame, throw the restoration
+        // exception, resume.
+        self.nodes[node]
+            .vm
+            .restore_session
+            .as_mut()
+            .expect("restore session")
+            .cursor = restored;
+        if restored + 1 < nframes {
+            let next = self.sessions[&sid].state.frames[restored + 1].clone();
+            let vm = &mut self.nodes[node].vm;
+            let ci = vm.class_idx(&next.class).expect("restored class");
+            let mi = vm.classes[ci].method_idx(&next.method).expect("method");
+            vm.set_breakpoint(ci, mi, 0);
+        }
+        if let WorkerPhase::Restoring { restored: r, .. } =
+            &mut self.sessions.get_mut(&sid).unwrap().phase
+        {
+            *r += 1;
+        }
+        self.nodes[node]
+            .vm
+            .throw_into(tid, ExKind::InvalidState, "restore", false)
+            .expect("throw InvalidState");
+        let charge = self.nodes[node]
+            .cfg
+            .scale(jvmti::SET_BREAKPOINT_NS + jvmti::THROW_INTO_NS + costs::RESTORE_PER_FRAME_NS);
+        ctx.schedule(elapsed + charge, node, Msg::RunSlice { tid });
+    }
+
+    /// Handler-protocol restore finishes when every frame has been
+    /// re-established and the thread executes a normal slice.
+    fn maybe_finish_restore(&mut self, node: usize, tid: usize, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+        let Some(Owner::Worker(sid)) = self.thread_owner.get(&(node, tid)) else {
+            return;
+        };
+        let sid = *sid;
+        let done = matches!(
+            &self.sessions[&sid].phase,
+            WorkerPhase::Restoring { restored, .. } if *restored >= self.sessions[&sid].nframes
+        );
+        if !done {
+            return;
+        }
+        self.nodes[node].vm.interp_mode = false;
+        let arrived = self.sessions[&sid].arrived_at;
+        let class_wait = self.sessions[&sid].class_wait_ns;
+        let w = self.sessions.get_mut(&sid).unwrap();
+        w.timings.restore_ns = (ctx.now() + elapsed)
+            .saturating_sub(arrived)
+            .saturating_sub(class_wait);
+        w.phase = WorkerPhase::Running;
+        let timings = w.timings;
+        let program = w.program;
+        self.programs[program as usize].report.migrations.push(timings);
+    }
+
+    // ------------------------------------------------------------------
+    // Object manager & flush protocol
+    // ------------------------------------------------------------------
+
+    fn object_request(
+        &mut self,
+        home: usize,
+        sid: SessionId,
+        requester: usize,
+        home_id: ObjId,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let policy = self
+            .sessions
+            .get(&sid)
+            .map(|w| self.programs[w.program as usize].fetch_policy)
+            .unwrap_or_default();
+        let (root, prefetched) = match policy {
+            FetchPolicy::Shallow => (
+                extract_object(&self.nodes[home].vm.heap, home_id).expect("home object"),
+                Vec::new(),
+            ),
+            FetchPolicy::Deep => {
+                let mut closure =
+                    extract_closure(&self.nodes[home].vm.heap, home_id).expect("home closure");
+                let root = closure.remove(0);
+                (root, closure)
+            }
+        };
+        let bytes: u64 =
+            root.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let cost = costs::OBJ_LOOKUP_NS + costs::serialize_ns(bytes);
+        ctx.send_after(
+            self.nodes[home].cfg.scale(cost),
+            home,
+            requester,
+            bytes,
+            Msg::ObjectReply {
+                session: sid,
+                object: root,
+                prefetched,
+            },
+        );
+    }
+
+    fn object_reply(
+        &mut self,
+        node: usize,
+        sid: SessionId,
+        object: WireObject,
+        prefetched: Vec<WireObject>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let tid = self.sessions[&sid].tid;
+        let program = self.sessions[&sid].program;
+        let bytes: u64 =
+            object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let local = install_object(&mut self.nodes[node].vm.heap, &object).expect("install");
+        for p in &prefetched {
+            install_object(&mut self.nodes[node].vm.heap, p).expect("install prefetch");
+        }
+        self.nodes[node]
+            .vm
+            .resume_fetched(tid, local)
+            .expect("resume fetched");
+        let p = &mut self.programs[program as usize];
+        p.report.object_faults += 1;
+        p.report.object_bytes += bytes;
+        let cost = self.nodes[node].cfg.scale(costs::deserialize_ns(bytes));
+        ctx.schedule(cost, node, Msg::RunSlice { tid });
+    }
+
+    fn apply_flush(
+        &mut self,
+        home: usize,
+        objects: &[WireObject],
+        ack_to: Option<(usize, SessionId)>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let vm = &mut self.nodes[home].vm;
+        // Pass 1: allocate masters for worker-created (temp-id) objects.
+        let mut assigned: Vec<(ObjId, ObjId)> = Vec::new();
+        let mut map: HashMap<ObjId, ObjId> = HashMap::new();
+        for obj in objects {
+            if obj.home_id >= TEMP_ID_BASE {
+                let new_id = match &obj.body {
+                    sod_vm::wire::WireObjBody::Obj { class, fields } => vm
+                        .heap
+                        .alloc_obj(class.clone(), vec![Value::Null; fields.len()]),
+                    sod_vm::wire::WireObjBody::Arr { elems } => vm.heap.alloc_arr(elems.len()),
+                    sod_vm::wire::WireObjBody::Str(s) => vm.heap.alloc_str(s.clone()),
+                };
+                map.insert(obj.home_id, new_id);
+                assigned.push((obj.home_id, new_id));
+            }
+        }
+        // Pass 2: write bodies with refs resolved.
+        let resolve = |cv: &CapturedValue, map: &HashMap<ObjId, ObjId>| -> Value {
+            match cv {
+                CapturedValue::Int(i) => Value::Int(*i),
+                CapturedValue::Num(n) => Value::Num(*n),
+                CapturedValue::Null => Value::Null,
+                CapturedValue::HomeRef(h) => {
+                    Value::Ref(map.get(h).copied().unwrap_or(*h))
+                }
+            }
+        };
+        let mut total_bytes = 0u64;
+        for obj in objects {
+            total_bytes += obj.wire_bytes();
+            let target = map.get(&obj.home_id).copied().unwrap_or(obj.home_id);
+            let entry = match vm.heap.get_mut(target) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            match (&mut entry.kind, &obj.body) {
+                (
+                    sod_vm::heap::ObjKind::Obj { fields, .. },
+                    sod_vm::wire::WireObjBody::Obj { fields: new, .. },
+                ) => {
+                    for (i, cv) in new.iter().enumerate() {
+                        if i < fields.len() {
+                            fields[i] = resolve(cv, &map);
+                        }
+                    }
+                }
+                (
+                    sod_vm::heap::ObjKind::Arr { elems },
+                    sod_vm::wire::WireObjBody::Arr { elems: new },
+                ) => {
+                    for (i, cv) in new.iter().enumerate() {
+                        if i < elems.len() {
+                            elems[i] = resolve(cv, &map);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            entry.dirty = false;
+        }
+        if let Some((node, sid)) = ack_to {
+            let cost = costs::deserialize_ns(total_bytes);
+            ctx.send_after(
+                self.nodes[home].cfg.scale(cost),
+                home,
+                node,
+                CONTROL_MSG_BYTES,
+                Msg::FlushAck {
+                    session: sid,
+                    assigned,
+                },
+            );
+        }
+    }
+
+    fn flush_ack(&mut self, node: usize, sid: SessionId, assigned: Vec<(ObjId, ObjId)>, ctx: &mut SimCtx<'_, Msg>) {
+        // Record master ids on the local copies.
+        for (temp, home_id) in &assigned {
+            let local = (temp - TEMP_ID_BASE) as ObjId;
+            if let Ok(o) = self.nodes[node].vm.heap.get_mut(local) {
+                o.home_id = Some(*home_id);
+            }
+        }
+        let phase = std::mem::replace(&mut self.sessions.get_mut(&sid).unwrap().phase, WorkerPhase::Done);
+        match phase {
+            WorkerPhase::AwaitRoamAck { dest } => {
+                let tid = self.sessions[&sid].tid;
+                self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::Running;
+                self.roam_capture_and_ship(node, tid, sid, dest, 0, ctx);
+            }
+            WorkerPhase::AwaitCompleteAck { retval } => {
+                let mapped = retval.map(|cv| match cv {
+                    CapturedValue::HomeRef(h) if h >= TEMP_ID_BASE => {
+                        let home_id = assigned
+                            .iter()
+                            .find(|(t, _)| *t == h)
+                            .map(|(_, n)| *n)
+                            .unwrap_or(h);
+                        CapturedValue::HomeRef(home_id)
+                    }
+                    other => other,
+                });
+                self.send_segment_return(sid, mapped, 0, ctx);
+            }
+            other => {
+                self.sessions.get_mut(&sid).unwrap().phase = other;
+            }
+        }
+    }
+
+    fn segment_return(
+        &mut self,
+        node: usize,
+        program: ProgramId,
+        target: ReturnTarget,
+        retval: Option<CapturedValue>,
+        pop_frames: usize,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        match target {
+            ReturnTarget::Home { node: home } => {
+                debug_assert_eq!(node, home);
+                self.programs[program as usize].suspended = false;
+                let tid = self.programs[program as usize].home_tid;
+                let val = retval.map(|cv| match cv {
+                    CapturedValue::Int(i) => Value::Int(i),
+                    CapturedValue::Num(n) => Value::Num(n),
+                    CapturedValue::Null => Value::Null,
+                    CapturedValue::HomeRef(h) => Value::Ref(h),
+                });
+                {
+                    let vm = &mut self.nodes[home].vm;
+                    let t = vm.thread_mut(tid).expect("home thread");
+                    let keep = t.frames.len().saturating_sub(pop_frames.saturating_sub(1));
+                    t.frames.truncate(keep);
+                    vm.force_early_return(tid, val).expect("force early return");
+                }
+                let finished = self.nodes[home].vm.thread(tid).unwrap().is_finished();
+                if finished {
+                    let v = match &self.nodes[home].vm.thread(tid).unwrap().state {
+                        sod_vm::interp::ThreadState::Finished(v) => *v,
+                        _ => None,
+                    };
+                    self.finish_program(program, v, ctx.now());
+                } else {
+                    ctx.schedule(
+                        self.nodes[home].cfg.scale(jvmti::FORCE_EARLY_RETURN_NS),
+                        home,
+                        Msg::RunSlice { tid },
+                    );
+                }
+            }
+            ReturnTarget::Session { session, .. } => {
+                let w = self.sessions.get_mut(&session).expect("chained session");
+                debug_assert!(matches!(w.phase, WorkerPhase::Waiting));
+                let tid = w.tid;
+                w.phase = WorkerPhase::Running;
+                let val = retval
+                    .map(|cv| match cv {
+                        CapturedValue::Int(i) => Value::Int(i),
+                        CapturedValue::Num(n) => Value::Num(n),
+                        CapturedValue::Null => Value::Null,
+                        CapturedValue::HomeRef(h) => {
+                            match self.nodes[node].vm.heap.find_cached(h) {
+                                Some(local) => Value::Ref(local),
+                                None => Value::NulledRef(h),
+                            }
+                        }
+                    });
+                deliver_return(&mut self.nodes[node].vm, tid, val);
+                ctx.schedule(1_000, node, Msg::RunSlice { tid });
+            }
+        }
+    }
+}
+
+fn pop_front(v: &mut Vec<String>) -> Option<String> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+/// Deliver a return value to a thread whose top frame is parked at the
+/// invoke of a remotely executed method (workflow restore-ahead).
+fn deliver_return(vm: &mut sod_vm::interp::Vm, tid: usize, val: Option<Value>) {
+    let t = vm.thread_mut(tid).expect("waiting thread");
+    let f = t.frames.last_mut().expect("waiting frame");
+    f.pc += 1;
+    if let Some(v) = val {
+        f.ostack.push(v);
+    }
+    t.state = sod_vm::interp::ThreadState::Runnable;
+}
+
+impl World for Cluster {
+    type Msg = Msg;
+
+    fn on_message(&mut self, dst: usize, msg: Msg, ctx: &mut SimCtx<'_, Msg>) {
+        match msg {
+            Msg::StartProgram { program } => {
+                let p = &self.programs[program as usize];
+                debug_assert_eq!(p.home, dst);
+                let (class, method, args) = (p.class.clone(), p.method.clone(), p.args.clone());
+                let tid = self.nodes[dst]
+                    .vm
+                    .spawn(&class, &method, &args)
+                    .expect("spawn program");
+                self.programs[program as usize].home_tid = tid;
+                self.thread_owner.insert((dst, tid), Owner::Root(program));
+                ctx.schedule(0, dst, Msg::RunSlice { tid });
+            }
+            Msg::MigrateNow { program, plan } => {
+                let p = &mut self.programs[program as usize];
+                if p.done || p.suspended {
+                    return;
+                }
+                // The live slice chain observes the flag at its next stop;
+                // scheduling another slice here would double-drive the
+                // thread.
+                p.pending_plan = Some(plan);
+                p.t_request = ctx.now();
+            }
+            Msg::RunSlice { tid } => self.run_slice(dst, tid, ctx),
+            Msg::HostDone { tid, reply } => {
+                let v = materialize_reply(&mut self.nodes[dst].vm, reply);
+                self.nodes[dst]
+                    .vm
+                    .resume_host(tid, v)
+                    .expect("resume host");
+                ctx.schedule(0, dst, Msg::RunSlice { tid });
+            }
+            Msg::CaptureDone { program } => self.capture_done(program, ctx),
+            Msg::State {
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+                sent_at,
+            } => self.state_arrived(
+                dst, info, state, bundled, state_bytes, class_bytes, capture_ns, sent_at, ctx,
+            ),
+            Msg::BeginRestore { session } => self.begin_restore(session, ctx),
+            Msg::ClassRequest {
+                session,
+                requester,
+                name,
+            } => {
+                let Some(class) = self.nodes[dst].repo.get(&name).cloned() else {
+                    panic!("home node missing class {name}");
+                };
+                let bytes = class_wire_bytes(&class);
+                let cost = self.nodes[dst].cfg.scale(costs::serialize_ns(bytes));
+                ctx.send_after(
+                    cost,
+                    dst,
+                    requester,
+                    bytes,
+                    Msg::ClassReply {
+                        session,
+                        class,
+                        bytes,
+                    },
+                );
+            }
+            Msg::ClassReply {
+                session,
+                class,
+                bytes,
+            } => {
+                let load = self.nodes[dst].cfg.scale(costs::class_load_ns(bytes));
+                if !self.nodes[dst].vm.has_class(&class.name) {
+                    self.nodes[dst].vm.load_class(&class).expect("class reply");
+                }
+                self.nodes[dst].repo.insert(class.name.clone(), class.clone());
+                let w = self.sessions.get_mut(&session).expect("session");
+                match &mut w.phase {
+                    WorkerPhase::AwaitClasses { missing } => {
+                        missing.remove(&class.name);
+                        if missing.is_empty() {
+                            let wait = ctx.now().saturating_sub(w.arrived_at);
+                            w.timings.transfer_class_ns += wait;
+                            w.class_wait_ns += wait;
+                            ctx.schedule(load, dst, Msg::BeginRestore { session });
+                        }
+                    }
+                    _ => {
+                        // On-demand class during execution.
+                        let tid = w.tid;
+                        self.nodes[dst]
+                            .vm
+                            .resume_class_loaded(tid)
+                            .expect("resume class");
+                        ctx.schedule(load, dst, Msg::RunSlice { tid });
+                    }
+                }
+            }
+            Msg::ObjectRequest {
+                session,
+                requester,
+                home_id,
+            } => self.object_request(dst, session, requester, home_id, ctx),
+            Msg::ObjectReply {
+                session,
+                object,
+                prefetched,
+            } => self.object_reply(dst, session, object, prefetched, ctx),
+            Msg::Flush {
+                program: _,
+                objects,
+                ack_to,
+            } => self.apply_flush(dst, &objects, ack_to, ctx),
+            Msg::FlushAck { session, assigned } => self.flush_ack(dst, session, assigned, ctx),
+            Msg::SegmentReturn {
+                program,
+                session: _,
+                target,
+                retval,
+                pop_frames,
+            } => self.segment_return(dst, program, target, retval, pop_frames, ctx),
+            Msg::FsRead {
+                requester,
+                tid,
+                path,
+                op,
+            } => {
+                let Some(meta) = self.nodes[dst].fs.file(&path).cloned() else {
+                    ctx.send(
+                        dst,
+                        requester,
+                        CONTROL_MSG_BYTES,
+                        Msg::FsData {
+                            tid,
+                            bytes: 0,
+                            op,
+                            result: HostReply::Int(-1),
+                        },
+                    );
+                    return;
+                };
+                let disk = self.nodes[dst].fs.disk_read_ns(meta.bytes);
+                let result = match op {
+                    FsOp::Search => {
+                        HostReply::Int(meta.match_at.map(|p| p as i64).unwrap_or(-1))
+                    }
+                    FsOp::Read => HostReply::Int(meta.bytes as i64),
+                };
+                ctx.send_after(
+                    disk,
+                    dst,
+                    requester,
+                    meta.bytes,
+                    Msg::FsData {
+                        tid,
+                        bytes: meta.bytes,
+                        op,
+                        result,
+                    },
+                );
+            }
+            Msg::FsData {
+                tid,
+                bytes,
+                op,
+                result,
+            } => {
+                let scan = match op {
+                    FsOp::Search => self.scan_ns(dst, bytes),
+                    FsOp::Read => self.scan_ns(dst, bytes) / 4,
+                };
+                ctx.schedule(scan, dst, Msg::HostDone { tid, reply: result });
+            }
+            Msg::ClientRequest { payload } => {
+                if let Some(tid) = self.nodes[dst].sock_waiters.pop() {
+                    ctx.schedule(
+                        0,
+                        dst,
+                        Msg::HostDone {
+                            tid,
+                            reply: HostReply::Str(payload),
+                        },
+                    );
+                } else {
+                    self.nodes[dst].sock_queue.push(payload);
+                }
+            }
+        }
+    }
+}
+
+fn materialize_reply(vm: &mut sod_vm::interp::Vm, reply: HostReply) -> Value {
+    match reply {
+        HostReply::Int(i) => Value::Int(i),
+        HostReply::Str(s) => Value::Ref(vm.heap.alloc_str(s)),
+        HostReply::List(items) => {
+            let refs: Vec<Value> = items
+                .into_iter()
+                .map(|s| Value::Ref(vm.heap.alloc_str(s)))
+                .collect();
+            Value::Ref(vm.heap.alloc_arr_from(refs))
+        }
+    }
+}
+
+/// Driver: a [`Sim`] over a [`Cluster`] with experiment-friendly helpers.
+pub struct SodSim {
+    pub sim: Sim<Cluster>,
+}
+
+impl SodSim {
+    pub fn new(cluster: Cluster, topo: Topology) -> Self {
+        SodSim {
+            sim: Sim::new(cluster, topo),
+        }
+    }
+
+    /// Start a registered program at virtual time `at`.
+    pub fn start_program(&mut self, at: u64, program: ProgramId) {
+        let home = self.sim.world.programs[program as usize].home;
+        self.sim.inject(at, home, Msg::StartProgram { program });
+    }
+
+    /// Trigger a migration of `program` per `plan` at virtual time `at`.
+    pub fn migrate_at(&mut self, at: u64, program: ProgramId, plan: MigrationPlan) {
+        let home = self.sim.world.programs[program as usize].home;
+        self.sim.inject(at, home, Msg::MigrateNow { program, plan });
+    }
+
+    /// Inject a client request into a photo-server node.
+    pub fn client_request_at(&mut self, at: u64, node: usize, payload: impl Into<String>) {
+        self.sim.inject(
+            at,
+            node,
+            Msg::ClientRequest {
+                payload: payload.into(),
+            },
+        );
+    }
+
+    /// Run the simulation to idle; returns final virtual time.
+    pub fn run(&mut self) -> u64 {
+        self.sim.run_to_idle(500_000_000)
+    }
+
+    /// The report of a completed program.
+    pub fn report(&self, program: ProgramId) -> &RunReport {
+        &self.sim.world.programs[program as usize].report
+    }
+
+    pub fn program(&self, program: ProgramId) -> &Program {
+        &self.sim.world.programs[program as usize]
+    }
+}
+
+/// Roll a faulted thread back to the start of the faulting statement
+/// (operand stack cleared — sound because rearranged statements are
+/// single-effect), leaving it runnable for capture at that MSP.
+pub fn rollback_to_statement_start(vm: &mut sod_vm::interp::Vm, tid: usize) {
+    let (ci, mi, pc) = {
+        let f = vm.thread(tid).unwrap().top().unwrap();
+        (f.class_idx, f.method_idx, f.pc)
+    };
+    let start = vm.line_start_pc(ci, mi, pc);
+    let t = vm.thread_mut(tid).unwrap();
+    let f = t.frames.last_mut().unwrap();
+    f.pc = start;
+    f.ostack.clear();
+    t.state = sod_vm::interp::ThreadState::Runnable;
+}
+
+/// Export a return value, assigning temp ids to worker-created objects.
+fn export_with_temps(vm: &sod_vm::interp::Vm, v: Value) -> CapturedValue {
+    match v {
+        Value::Ref(id) => match vm.heap.get(id).ok().and_then(|o| o.home_id) {
+            Some(h) => CapturedValue::HomeRef(h),
+            None => CapturedValue::HomeRef(TEMP_ID_BASE + id),
+        },
+        other => CapturedValue::from_value(other),
+    }
+}
+
+/// Collect the write-back set of a worker VM: dirty cached objects plus all
+/// worker-created objects reachable from them or from the return value.
+/// Returns wire objects (temp ids for worker-created ones) and their total
+/// serialized size. Clears dirty bits.
+fn collect_flush(vm: &mut sod_vm::interp::Vm, retval: Option<Value>) -> (Vec<WireObject>, u64) {
+    let mut roots: Vec<ObjId> = vm.heap.dirty_objects().map(|(id, _)| id).collect();
+    if let Some(Value::Ref(id)) = retval {
+        roots.push(id);
+    }
+    let mut seen: HashSet<ObjId> = HashSet::new();
+    let mut queue: Vec<ObjId> = Vec::new();
+    for r in roots {
+        if seen.insert(r) {
+            queue.push(r);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(id) = queue.pop() {
+        let obj = match vm.heap.get(id) {
+            Ok(o) => o,
+            Err(_) => continue,
+        };
+        let include = obj.dirty || obj.home_id.is_none();
+        if !include {
+            continue;
+        }
+        // Traverse refs: worker-created neighbours must flush too.
+        let neighbours: Vec<ObjId> = match &obj.kind {
+            sod_vm::heap::ObjKind::Obj { fields, .. } => fields
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Ref(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            sod_vm::heap::ObjKind::Arr { elems } => elems
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Ref(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push(extract_dirty(&vm.heap, id, TEMP_ID_BASE).expect("extract dirty"));
+        for n in neighbours {
+            if seen.insert(n) {
+                queue.push(n);
+            }
+        }
+    }
+    vm.heap.clear_dirty();
+    let bytes = out.iter().map(|o| o.wire_bytes()).sum();
+    (out, bytes)
+}

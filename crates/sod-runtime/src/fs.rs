@@ -1,0 +1,121 @@
+//! Simulated per-node file systems with NFS mounts.
+//!
+//! Files have sizes and optional deterministic "match positions" for the
+//! text-search workloads (the paper's document search reads 600 MB files
+//! over NFS and scans for a string — what matters for the reproduction is
+//! *where the bytes move*, so content is parameterised, not materialised).
+//!
+//! Reads from a local file cost disk time; reads from a mounted remote
+//! path stream the bytes from the serving node over the simulated network
+//! (the runtime engine issues those messages). I/O-bound scans also charge
+//! a per-byte CPU cost scaled by the VM's I/O efficiency factor — this is
+//! how JESSICA2's slow I/O library (Table VI: only 2.88 % gain) is
+//! modelled.
+
+use std::collections::HashMap;
+
+use sod_net::time::{MS, NS_PER_SEC};
+
+/// One simulated file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileMeta {
+    pub bytes: u64,
+    /// Deterministic search outcome: byte offset where a needle matches,
+    /// if any.
+    pub match_at: Option<u64>,
+}
+
+/// A node's file system plus NFS mounts.
+#[derive(Clone, Debug, Default)]
+pub struct SimFs {
+    files: HashMap<String, FileMeta>,
+    /// Path prefix → serving node. Longest prefix wins.
+    mounts: Vec<(String, usize)>,
+    /// Local disk read bandwidth (bytes/s) and fixed seek time.
+    pub disk_bps: u64,
+    pub seek_ns: u64,
+}
+
+impl SimFs {
+    pub fn new() -> Self {
+        SimFs {
+            files: HashMap::new(),
+            mounts: Vec::new(),
+            disk_bps: 150_000_000, // 150 MB/s SAS RAID-1
+            seek_ns: 5 * MS,
+        }
+    }
+
+    /// Create or replace a local file.
+    pub fn add_file(&mut self, path: impl Into<String>, bytes: u64, match_at: Option<u64>) {
+        self.files.insert(path.into(), FileMeta { bytes, match_at });
+    }
+
+    /// Mount `prefix` from `server`.
+    pub fn mount(&mut self, prefix: impl Into<String>, server: usize) {
+        self.mounts.push((prefix.into(), server));
+        self.mounts.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+    }
+
+    /// Which node serves `path`: `None` means local.
+    pub fn serving_node(&self, path: &str) -> Option<usize> {
+        self.mounts
+            .iter()
+            .find(|(p, _)| path.starts_with(p.as_str()))
+            .map(|(_, n)| *n)
+    }
+
+    pub fn file(&self, path: &str) -> Option<&FileMeta> {
+        self.files.get(path)
+    }
+
+    /// Paths under a directory prefix, sorted (for `fs_list`).
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .files
+            .keys()
+            .filter(|p| p.starts_with(dir))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Virtual time to read `bytes` sequentially from local disk.
+    pub fn disk_read_ns(&self, bytes: u64) -> u64 {
+        self.seek_ns + bytes * NS_PER_SEC / self.disk_bps.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_and_listing() {
+        let mut fs = SimFs::new();
+        fs.add_file("/data/a.txt", 100, None);
+        fs.add_file("/data/b.txt", 200, Some(50));
+        fs.add_file("/other/c.txt", 10, None);
+        assert_eq!(fs.list("/data/"), vec!["/data/a.txt", "/data/b.txt"]);
+        assert_eq!(fs.file("/data/b.txt").unwrap().match_at, Some(50));
+        assert!(fs.file("/nope").is_none());
+    }
+
+    #[test]
+    fn longest_prefix_mount_wins() {
+        let mut fs = SimFs::new();
+        fs.mount("/mnt/", 1);
+        fs.mount("/mnt/deep/", 2);
+        assert_eq!(fs.serving_node("/mnt/deep/x"), Some(2));
+        assert_eq!(fs.serving_node("/mnt/x"), Some(1));
+        assert_eq!(fs.serving_node("/local/x"), None);
+    }
+
+    #[test]
+    fn disk_read_time() {
+        let fs = SimFs::new();
+        // 150 MB at 150 MB/s = 1 s + seek.
+        assert_eq!(fs.disk_read_ns(150_000_000), fs.seek_ns + NS_PER_SEC);
+    }
+}

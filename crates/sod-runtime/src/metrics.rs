@@ -1,0 +1,91 @@
+//! Measurement records: the quantities the paper's tables report.
+
+use sod_net::time::NS_PER_MS;
+
+/// Timing breakdown of one migration (Table IV / Table VII).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationTimings {
+    /// Request received → state ready to transfer ("capture time").
+    pub capture_ns: u64,
+    /// State message network time ("transfer time", state portion).
+    pub transfer_state_ns: u64,
+    /// Class files network time (Table VII splits this out as t3).
+    pub transfer_class_ns: u64,
+    /// State available at destination → execution resumed ("restore time",
+    /// including class loading per the paper's accounting).
+    pub restore_ns: u64,
+    /// Bytes of captured state shipped.
+    pub state_bytes: u64,
+    /// Bytes of class files shipped.
+    pub class_bytes: u64,
+}
+
+impl MigrationTimings {
+    /// The paper's *migration latency*: capture + transfer + restore.
+    pub fn latency_ns(&self) -> u64 {
+        self.capture_ns + self.transfer_state_ns + self.transfer_class_ns + self.restore_ns
+    }
+
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ns() as f64 / NS_PER_MS as f64
+    }
+}
+
+/// Outcome of one program run under the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Virtual completion time of the program (home node observes it).
+    pub finished_at_ns: u64,
+    /// Root return value rendered as i64 where applicable.
+    pub result: Option<i64>,
+    /// Guest instructions retired across all nodes.
+    pub instructions: u64,
+    /// Migrations performed, in order.
+    pub migrations: Vec<MigrationTimings>,
+    /// Remote-object faults served.
+    pub object_faults: u64,
+    /// Bytes of objects fetched on demand.
+    pub object_bytes: u64,
+    /// Classes shipped on demand (beyond those bundled with state).
+    pub classes_shipped: u64,
+    /// Maximum stack height observed on the home node (Table I `h`).
+    pub max_stack_height: usize,
+}
+
+impl RunReport {
+    /// Total migration latency across all hops.
+    pub fn total_migration_latency_ns(&self) -> u64 {
+        self.migrations.iter().map(|m| m.latency_ns()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sums_components() {
+        let t = MigrationTimings {
+            capture_ns: 1,
+            transfer_state_ns: 2,
+            transfer_class_ns: 3,
+            restore_ns: 4,
+            ..Default::default()
+        };
+        assert_eq!(t.latency_ns(), 10);
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut r = RunReport::default();
+        r.migrations.push(MigrationTimings {
+            capture_ns: 5,
+            ..Default::default()
+        });
+        r.migrations.push(MigrationTimings {
+            restore_ns: 7,
+            ..Default::default()
+        });
+        assert_eq!(r.total_migration_latency_ns(), 12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Protocol messages exchanged between nodes (and node-local timers).
+//!
+//! The message set mirrors the paper's middleware: migration managers
+//! exchange state and class files; object managers exchange object
+//! requests/replies and dirty-object flushes; a handful of self-scheduled
+//! timers drive execution slices and cost accounting.
+
+use sod_vm::capture::{CapturedState, CapturedValue};
+use sod_vm::class::ClassDef;
+use sod_vm::value::ObjId;
+use sod_vm::wire::WireObject;
+
+/// Program identity (one root thread somewhere in the cluster).
+pub type ProgramId = u32;
+/// Migration session identity (one migrated segment instance).
+pub type SessionId = u32;
+
+/// One segment of a migration plan: `nframes` counted from the top of the
+/// remaining stack, shipped to `dest`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentSpec {
+    pub dest: usize,
+    pub nframes: usize,
+}
+
+/// A migration plan: how to split the current stack. `segments[0]` is the
+/// topmost segment (executes first). Fig. 1 of the paper:
+/// (a) one proper-prefix segment → returns home;
+/// (b) all frames in one or two segments to the same node → total
+///     migration;
+/// (c) several segments to different nodes → multi-domain workflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationPlan {
+    pub segments: Vec<SegmentSpec>,
+}
+
+impl MigrationPlan {
+    /// The common case: top `nframes` to `dest`, control returns home.
+    pub fn top_to(dest: usize, nframes: usize) -> Self {
+        MigrationPlan {
+            segments: vec![SegmentSpec { dest, nframes }],
+        }
+    }
+
+    /// Total frames requested (may exceed the stack height, which clamps).
+    pub fn total_frames(&self) -> usize {
+        self.segments.iter().map(|s| s.nframes).sum()
+    }
+}
+
+/// Where a completed segment delivers its return value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReturnTarget {
+    /// Pop the stale frames on the home node and resume the residual stack.
+    Home { node: usize },
+    /// Deliver to a chained session holding the frames below (workflow).
+    Session { node: usize, session: SessionId },
+}
+
+/// Metadata travelling with a shipped segment.
+#[derive(Clone, Debug)]
+pub struct SegmentInfo {
+    pub program: ProgramId,
+    pub session: SessionId,
+    /// The node serving object faults and receiving flushes (the home).
+    pub home: usize,
+    pub return_to: ReturnTarget,
+    /// Frames in this segment (for home-side truncation accounting).
+    pub nframes: usize,
+    /// Workflow segments below the top wait for a return value before
+    /// executing.
+    pub wait_for_return: bool,
+}
+
+/// Host intrinsic results (node-local, so no VM references).
+#[derive(Clone, Debug, PartialEq)]
+pub enum HostReply {
+    Int(i64),
+    Str(String),
+    List(Vec<String>),
+}
+
+/// All cluster messages. `Timer`-ish variants are node-local.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // -- driver-injected ---------------------------------------------------
+    /// Begin executing the registered program.
+    StartProgram { program: ProgramId },
+    /// Trigger a migration of the program's thread per `plan` at the next
+    /// migration-safe point.
+    MigrateNow { program: ProgramId, plan: MigrationPlan },
+
+    // -- execution timers ----------------------------------------------------
+    /// Continue running VM thread `tid` on this node.
+    RunSlice { tid: usize },
+    /// A host intrinsic completed; resume `tid` with the reply.
+    HostDone { tid: usize, reply: HostReply },
+    /// Capture finished (freeze time elapsed); ship the segments.
+    CaptureDone { program: ProgramId },
+    /// All classes for a shipped segment are present; re-establish frames.
+    BeginRestore { session: SessionId },
+
+    // -- migration protocol -----------------------------------------------------
+    /// A captured segment arriving at its destination.
+    State {
+        info: SegmentInfo,
+        state: CapturedState,
+        /// Class of the top frame travels with the state (the paper ships
+        /// "the current class of the top frame" eagerly).
+        bundled: Vec<ClassDef>,
+        /// Serialized size of state + bundled classes (for metrics).
+        state_bytes: u64,
+        class_bytes: u64,
+        /// Capture (freeze) time spent at the source, for the timings
+        /// breakdown.
+        capture_ns: u64,
+        /// Virtual time the state left the source node (metrics).
+        sent_at: u64,
+    },
+    /// Worker requests a class it misses (the class-file-load-hook path).
+    ClassRequest {
+        session: SessionId,
+        requester: usize,
+        name: String,
+    },
+    ClassReply {
+        session: SessionId,
+        class: ClassDef,
+        bytes: u64,
+    },
+
+    // -- object manager -------------------------------------------------------
+    /// Worker faulted on home object `home_id`.
+    ObjectRequest {
+        session: SessionId,
+        requester: usize,
+        home_id: ObjId,
+    },
+    ObjectReply {
+        session: SessionId,
+        object: WireObject,
+        /// Extra prefetched objects (fetch-policy ablations).
+        prefetched: Vec<WireObject>,
+    },
+
+    // -- completion & write-back ---------------------------------------------
+    /// Dirty/new objects flushed to the home heap. If `ack_to` is set, the
+    /// home responds with `FlushAck` carrying temp-id assignments (used
+    /// before worker-to-worker roaming hops).
+    Flush {
+        program: ProgramId,
+        objects: Vec<WireObject>,
+        ack_to: Option<(usize, SessionId)>,
+    },
+    /// Home's reply to a flush that requested id assignments.
+    FlushAck {
+        session: SessionId,
+        /// temp id → assigned home id.
+        assigned: Vec<(ObjId, ObjId)>,
+    },
+    /// A migrated segment finished: deliver the return value.
+    SegmentReturn {
+        program: ProgramId,
+        session: SessionId,
+        target: ReturnTarget,
+        retval: Option<CapturedValue>,
+        /// Frames the receiver must pop (home) before delivering.
+        pop_frames: usize,
+    },
+
+    // -- simulated NFS ----------------------------------------------------------
+    /// Read (stream) a whole file from this node's disk to `requester`.
+    FsRead {
+        requester: usize,
+        tid: usize,
+        path: String,
+        /// What the requester will do with the bytes (search needle pos or
+        /// plain read).
+        op: FsOp,
+    },
+    /// The file content arriving back at the requester.
+    FsData {
+        tid: usize,
+        bytes: u64,
+        op: FsOp,
+        result: HostReply,
+    },
+
+    // -- photo-share application ---------------------------------------------
+    /// A client request hitting the photo server's accept loop.
+    ClientRequest { payload: String },
+}
+
+/// What an NFS read is for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsOp {
+    /// `fs_search`: scan for a needle; result is the match offset or -1.
+    Search,
+    /// `fs_read`: bulk read; result is the byte count.
+    Read,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_helpers() {
+        let p = MigrationPlan::top_to(3, 2);
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.total_frames(), 2);
+        let w = MigrationPlan {
+            segments: vec![
+                SegmentSpec { dest: 1, nframes: 1 },
+                SegmentSpec { dest: 2, nframes: 2 },
+            ],
+        };
+        assert_eq!(w.total_frames(), 3);
+    }
+}

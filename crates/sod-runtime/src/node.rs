@@ -1,0 +1,162 @@
+//! Node model: configuration profiles and per-node state.
+
+use std::collections::HashMap;
+
+use sod_vm::class::ClassDef;
+use sod_vm::interp::Vm;
+
+use crate::costs::AGENT_IDLE_SCALE_PER_MILLE;
+use crate::fs::SimFs;
+
+/// Static node parameters.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    pub name: String,
+    /// CPU speed relative to the reference cluster Xeon, in per-mille
+    /// (1000 = reference; the iPhone 3G profile uses ≈ 60).
+    pub cpu_speed_per_mille: u64,
+    /// Whether the node's JVM exposes JVMTI (JamVM on the device does not;
+    /// capture/restore fall back to the portable Java-serialization path).
+    pub has_jvmti: bool,
+    /// Per-mille execution cost scale (≥1000); models the idle overhead of
+    /// the attached tooling agent (paper's C1) or a slower JIT.
+    pub exec_scale_per_mille: u32,
+    /// CPU cost of scanning one byte of file data, in ns ×100 (JIT-ed Java
+    /// ≈ 50 ⇒ 0.5 ns/B). JESSICA2's slow I/O library uses a large value.
+    pub io_scan_ns_per_byte_x100: u64,
+    /// Guest heap budget; allocations beyond it raise `OutOfMemoryError`
+    /// (exception-driven offload experiments).
+    pub mem_limit: Option<u64>,
+}
+
+impl NodeConfig {
+    /// A cluster node as in the paper's testbed, running the SODEE
+    /// middleware (JVMTI agent attached).
+    pub fn cluster(name: impl Into<String>) -> Self {
+        NodeConfig {
+            name: name.into(),
+            cpu_speed_per_mille: 1000,
+            has_jvmti: true,
+            exec_scale_per_mille: AGENT_IDLE_SCALE_PER_MILLE,
+            io_scan_ns_per_byte_x100: 50,
+            mem_limit: None,
+        }
+    }
+
+    /// A plain JVM without any agent (the paper's "JDK" column).
+    pub fn plain(name: impl Into<String>) -> Self {
+        NodeConfig {
+            exec_scale_per_mille: 1000,
+            ..NodeConfig::cluster(name)
+        }
+    }
+
+    /// The iPhone 3G profile: 412 MHz ARM (≈ 6 % of the Xeon per-core with
+    /// an interpreting JamVM), no JVMTI, 128 MB RAM.
+    pub fn device(name: impl Into<String>) -> Self {
+        NodeConfig {
+            name: name.into(),
+            cpu_speed_per_mille: 60,
+            has_jvmti: false,
+            exec_scale_per_mille: 1000,
+            io_scan_ns_per_byte_x100: 400,
+            mem_limit: Some(96 << 20),
+        }
+    }
+
+    /// A capacious cloud node (exception-driven offload target).
+    pub fn cloud(name: impl Into<String>) -> Self {
+        NodeConfig {
+            mem_limit: None,
+            ..NodeConfig::cluster(name)
+        }
+    }
+
+    /// Scale a duration by this node's CPU speed.
+    pub fn scale(&self, ns: u64) -> u64 {
+        ns * 1000 / self.cpu_speed_per_mille.max(1)
+    }
+}
+
+/// Per-node runtime state.
+pub struct Node {
+    pub cfg: NodeConfig,
+    /// The node's VM (home programs and restored worker threads).
+    pub vm: Vm,
+    pub fs: SimFs,
+    /// Class files available locally (the home node holds the application;
+    /// workers populate this as classes ship in).
+    pub repo: HashMap<String, ClassDef>,
+    /// Pending photo-server requests (socket accept queue).
+    pub sock_queue: Vec<String>,
+    /// Thread ids parked in `sock_accept` waiting for a request.
+    pub sock_waiters: Vec<usize>,
+}
+
+impl Node {
+    pub fn new(cfg: NodeConfig) -> Self {
+        let mut vm = Vm::new();
+        vm.cost_scale_per_mille = cfg.exec_scale_per_mille;
+        vm.mem_limit = cfg.mem_limit;
+        Node {
+            cfg,
+            vm,
+            fs: SimFs::new(),
+            repo: HashMap::new(),
+            sock_queue: Vec::new(),
+            sock_waiters: Vec::new(),
+        }
+    }
+
+    /// Make a class available in the node's repository *and* load it into
+    /// the VM (home-node deployment).
+    pub fn deploy(&mut self, class: &ClassDef) -> sod_vm::error::VmResult<()> {
+        self.repo.insert(class.name.clone(), class.clone());
+        self.vm.load_class(class)?;
+        Ok(())
+    }
+
+    /// Register the class file without loading it (it will ship on demand).
+    pub fn stage(&mut self, class: &ClassDef) {
+        self.repo.insert(class.name.clone(), class.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod_asm::builder::ClassBuilder;
+
+    #[test]
+    fn profiles_differ_as_expected() {
+        let c = NodeConfig::cluster("n0");
+        let d = NodeConfig::device("phone");
+        assert!(c.has_jvmti && !d.has_jvmti);
+        assert!(d.cpu_speed_per_mille < c.cpu_speed_per_mille);
+        assert!(c.exec_scale_per_mille > 1000); // agent idle overhead
+        assert_eq!(NodeConfig::plain("p").exec_scale_per_mille, 1000);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = NodeConfig::device("phone");
+        assert_eq!(d.scale(60), 1000); // ~17x slower
+    }
+
+    #[test]
+    fn deploy_loads_class() {
+        let class = ClassBuilder::new("A")
+            .method("m", &[], |m| {
+                m.line();
+                m.pushi(1).retv();
+            })
+            .build()
+            .unwrap();
+        let mut n = Node::new(NodeConfig::cluster("n"));
+        n.deploy(&class).unwrap();
+        assert!(n.vm.has_class("A"));
+        assert!(n.repo.contains_key("A"));
+        // VM inherits the agent cost scale.
+        assert_eq!(n.vm.cost_scale_per_mille, AGENT_IDLE_SCALE_PER_MILLE);
+    }
+}

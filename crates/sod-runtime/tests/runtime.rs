@@ -1,0 +1,496 @@
+//! Integration tests for the SODEE runtime: the paper's execution patterns
+//! (Fig. 1a/b/c), object faulting across nodes, roaming, exception-driven
+//! offload, NFS locality, and device-profile migrations.
+
+use sod_asm::builder::ClassBuilder;
+use sod_net::{LinkSpec, Topology, MS, SEC};
+use sod_preprocess::preprocess_sod;
+use sod_runtime::engine::{Cluster, SodSim};
+use sod_runtime::msg::{MigrationPlan, SegmentSpec};
+use sod_runtime::node::{Node, NodeConfig};
+use sod_vm::class::ClassDef;
+use sod_vm::instr::Cmp;
+use sod_vm::value::{TypeOf, Value};
+
+/// App.main(n): r = work(n) + 5 where work loops n times accumulating i and
+/// writing a counter object field (so migration leaves heap state behind).
+fn app_class() -> ClassDef {
+    let c = ClassBuilder::new("App")
+        .field("count", TypeOf::Int)
+        .static_field("last", TypeOf::Int)
+        .method("work", &["n", "box"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc").load("i").add().store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("box").load("acc").putfield("count");
+            m.line();
+            m.load("acc").putstatic("App", "last");
+            m.line();
+            m.load("acc").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.new_obj("App").store("box");
+            m.line();
+            m.load("n").load("box").invoke("App", "work", 2).store("r");
+            m.line();
+            m.load("box").getfield("count").store("chk");
+            m.line();
+            m.load("r").load("chk").add().load("r").sub().store("same"); // == r
+            m.line();
+            m.load("same").pushi(5).add().retv();
+        })
+        .build()
+        .unwrap();
+    preprocess_sod(&c).unwrap()
+}
+
+fn expected(n: i64) -> i64 {
+    (0..n).sum::<i64>() + 5
+}
+
+fn cluster_of(n_nodes: usize, class: &ClassDef) -> Cluster {
+    let mut nodes = Vec::new();
+    for i in 0..n_nodes {
+        let mut node = Node::new(NodeConfig::cluster(format!("n{i}")));
+        if i == 0 {
+            node.deploy(class).unwrap();
+        } else {
+            // Workers receive classes on demand; nothing preloaded.
+        }
+        nodes.push(node);
+    }
+    nodes[0].stage(class);
+    Cluster::new(nodes)
+}
+
+#[test]
+fn no_migration_baseline() {
+    let class = app_class();
+    let mut cluster = cluster_of(2, &class);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(100_000)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(r.result, Some(expected(100_000)));
+    assert!(r.migrations.is_empty());
+    assert_eq!(r.object_faults, 0);
+    assert!(r.finished_at_ns > 0);
+}
+
+#[test]
+fn fig1a_top_segment_returns_home() {
+    let class = app_class();
+    let n = 1_000_000i64;
+    let mut cluster = cluster_of(2, &class);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(
+        sim.program(pid).error, None,
+        "program failed: {:?}",
+        sim.program(pid).error
+    );
+    assert_eq!(r.result, Some(expected(n)));
+    assert_eq!(r.migrations.len(), 1);
+    let m = &r.migrations[0];
+    assert!(m.capture_ns > 0, "capture must cost time");
+    assert!(m.transfer_state_ns > 0, "transfer must cost time");
+    assert!(m.restore_ns > 0, "restore must cost time");
+    // The worker wrote box.count via PutField: the object faulted in and
+    // the dirty value flushed home (checked via the program result, which
+    // reads box.count at home after return).
+    assert!(r.object_faults >= 1, "worker must fault on `box`");
+    // On-demand class shipping happened (worker had nothing preloaded).
+    assert!(r.migrations[0].class_bytes > 0 || r.classes_shipped > 0);
+}
+
+#[test]
+fn fig1b_total_migration_continues_at_dest() {
+    let class = app_class();
+    let n = 1_000_000i64;
+    let mut cluster = cluster_of(2, &class);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    // Both frames (work + main) leave in one plan: top frame to node 1 and
+    // the residual frame also to node 1 (restore-ahead), i.e. a total
+    // migration: after `work` pops, execution continues on node 1.
+    sim.migrate_at(
+        2 * MS,
+        pid,
+        MigrationPlan {
+            segments: vec![
+                SegmentSpec { dest: 1, nframes: 1 },
+                SegmentSpec { dest: 1, nframes: 8 },
+            ],
+        },
+    );
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(sim.program(pid).error, None);
+    assert_eq!(r.result, Some(expected(n)));
+    assert_eq!(r.migrations.len(), 2, "two segments shipped");
+}
+
+#[test]
+fn fig1c_workflow_three_nodes() {
+    let class = app_class();
+    let n = 1_000_000i64;
+    let mut cluster = cluster_of(3, &class);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(3));
+    sim.start_program(0, pid);
+    // Top frame to node 1; residual to node 2; control flows 0 → 1 → 2 → 0.
+    sim.migrate_at(
+        2 * MS,
+        pid,
+        MigrationPlan {
+            segments: vec![
+                SegmentSpec { dest: 1, nframes: 1 },
+                SegmentSpec { dest: 2, nframes: 8 },
+            ],
+        },
+    );
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(sim.program(pid).error, None);
+    assert_eq!(r.result, Some(expected(n)));
+    assert_eq!(r.migrations.len(), 2);
+}
+
+#[test]
+fn migration_overhead_is_modest() {
+    // The headline claim: SOD migration costs little relative to execution.
+    let class = app_class();
+    let n = 4_000_000i64;
+    let run = |migrate: bool| -> u64 {
+        let mut cluster = cluster_of(2, &class);
+        let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
+        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+        sim.start_program(0, pid);
+        if migrate {
+            sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+        }
+        sim.run();
+        assert_eq!(sim.report(pid).result, Some(expected(n)));
+        sim.report(pid).finished_at_ns
+    };
+    let plain = run(false);
+    let migrated = run(true);
+    let overhead = migrated.saturating_sub(plain);
+    assert!(overhead > 0, "migration is not free");
+    // Paper Table III: SOD overhead is small (well under 10% for
+    // compute-heavy workloads; absolute tens of ms).
+    assert!(
+        overhead < plain / 5,
+        "overhead {overhead} too large vs exec {plain}"
+    );
+}
+
+#[test]
+fn roaming_hops_across_nodes() {
+    // A task that asks to move to node 1, then node 2, then finishes.
+    let c = ClassBuilder::new("Roam")
+        .method("tour", &[], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.line();
+            m.pushi(1).native("sod_move", 1).pop();
+            m.line();
+            m.load("acc").native("node_id", 0).add().store("acc");
+            m.line();
+            m.pushi(2).native("sod_move", 1).pop();
+            m.line();
+            m.load("acc").native("node_id", 0).add().store("acc");
+            m.line();
+            m.load("acc").retv();
+        })
+        .method("main", &[], |m| {
+            m.line();
+            m.invoke("Roam", "tour", 0).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+    let mut cluster = cluster_of(3, &class);
+    let pid = cluster.add_program(0, "Roam", "main", vec![]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(3));
+    sim.start_program(0, pid);
+    // First hop is requested by the program itself via sod_move.
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(sim.program(pid).error, None);
+    // acc = node_id(1) + node_id(2) = 3 — proves the code really ran on
+    // nodes 1 and 2.
+    assert_eq!(r.result, Some(3));
+    assert_eq!(r.migrations.len(), 2, "two roaming hops");
+}
+
+#[test]
+fn exception_driven_offload_to_cloud() {
+    // The device cannot allocate a 2M-element array; the cloud can.
+    let c = ClassBuilder::new("Big")
+        .method("alloc", &["n"], |m| {
+            m.line();
+            m.load("n").newarr().store("a");
+            m.line();
+            m.load("a").arrlen().retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Big", "alloc", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+
+    let mut cfg = NodeConfig::device("phone");
+    cfg.mem_limit = Some(4 << 20); // 4 MB heap: the 16 MB array cannot fit
+    let mut device = Node::new(cfg);
+    device.deploy(&class).unwrap();
+    device.stage(&class);
+    let cloud = Node::new(NodeConfig::cloud("cloud"));
+    let mut cluster = Cluster::new(vec![device, cloud]);
+    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(2_000_000)]);
+    cluster.programs[pid as usize].oom_offload_to = Some(1);
+    let mut topo = Topology::gigabit_cluster(2);
+    topo.set_link(0, 1, LinkSpec::wifi_kbps(764));
+    let mut sim = SodSim::new(cluster, topo);
+    sim.start_program(0, pid);
+    sim.run();
+    let r = sim.report(pid);
+    assert_eq!(sim.program(pid).error, None, "offload must rescue the OOM");
+    assert_eq!(r.result, Some(2_000_000));
+    assert_eq!(r.migrations.len(), 1);
+}
+
+#[test]
+fn nfs_locality_improves_with_migration() {
+    // Paper Table VI: a document search reads a large file over NFS;
+    // migrating to the file server makes the read local.
+    let c = ClassBuilder::new("Search")
+        .method("main", &[], |m| {
+            m.line();
+            m.pushi(1).native("sod_move", 1).pop();
+            m.line();
+            m.pushstr("/srv/data/doc.txt")
+                .pushstr("beach")
+                .native("fs_search", 2)
+                .store("pos");
+            m.line();
+            m.load("pos").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+
+    let run = |migrate: bool| -> (u64, Option<i64>) {
+        let mut client = Node::new(NodeConfig::cluster("client"));
+        client.deploy(&class).unwrap();
+        client.stage(&class);
+        client.fs.mount("/srv/", 1);
+        let mut server = Node::new(NodeConfig::cluster("server"));
+        server.fs.add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
+        let mut cluster = Cluster::new(vec![client, server]);
+        let pid = cluster.add_program(0, "Search", "main", vec![]);
+        if !migrate {
+            // Strip the sod_move by... running as-is still moves; instead
+            // emulate no-migration by retargeting the hint to node 0.
+        }
+        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+        sim.start_program(0, pid);
+        sim.run();
+        (
+            sim.report(pid).finished_at_ns,
+            sim.report(pid).result,
+        )
+    };
+    // With the hint the search runs on the server (local disk read).
+    let (with_mig, r1) = run(true);
+    assert_eq!(r1, Some(1234));
+    // Without migration the same bytes cross the network: build a variant
+    // program without the move hint.
+    let c2 = ClassBuilder::new("Search")
+        .method("main", &[], |m| {
+            m.line();
+            m.pushstr("/srv/data/doc.txt")
+                .pushstr("beach")
+                .native("fs_search", 2)
+                .store("pos");
+            m.line();
+            m.load("pos").retv();
+        })
+        .build()
+        .unwrap();
+    let class2 = preprocess_sod(&c2).unwrap();
+    let mut client = Node::new(NodeConfig::cluster("client"));
+    client.deploy(&class2).unwrap();
+    client.fs.mount("/srv/", 1);
+    let mut server = Node::new(NodeConfig::cluster("server"));
+    server.fs.add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
+    let mut cluster = Cluster::new(vec![client, server]);
+    let pid = cluster.add_program(0, "Search", "main", vec![]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    let no_mig = sim.report(pid).finished_at_ns;
+    assert_eq!(sim.report(pid).result, Some(1234));
+    assert!(
+        with_mig < no_mig,
+        "locality should win: with={with_mig} without={no_mig}"
+    );
+}
+
+#[test]
+fn device_migration_latency_grows_as_bandwidth_shrinks() {
+    // Paper Table VII: state transfer dominates at low bandwidth; capture
+    // and restore are bandwidth-independent.
+    let class = app_class();
+    let mut results = Vec::new();
+    for kbps in [50u64, 128, 384, 764] {
+        let mut home = Node::new(NodeConfig::cluster("server"));
+        home.deploy(&class).unwrap();
+        home.stage(&class);
+        let device = Node::new(NodeConfig::device("phone"));
+        let mut cluster = Cluster::new(vec![home, device]);
+        let pid = cluster.add_program(0, "App", "main", vec![Value::Int(2_000_000)]);
+        let mut topo = Topology::gigabit_cluster(2);
+        topo.set_link(0, 1, LinkSpec::wifi_kbps(kbps));
+        let mut sim = SodSim::new(cluster, topo);
+        sim.start_program(0, pid);
+        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+        sim.run();
+        let r = sim.report(pid);
+        assert_eq!(sim.program(pid).error, None, "kbps={kbps}");
+        assert_eq!(r.result, Some(expected(2_000_000)));
+        assert_eq!(r.migrations.len(), 1);
+        results.push((kbps, r.migrations[0]));
+    }
+    // Transfer monotonically decreases with bandwidth.
+    for w in results.windows(2) {
+        let (k0, m0) = w[0];
+        let (k1, m1) = w[1];
+        assert!(
+            m0.transfer_state_ns + m0.transfer_class_ns
+                > m1.transfer_state_ns + m1.transfer_class_ns,
+            "{k0} vs {k1}"
+        );
+        // Capture barely changes with bandwidth.
+        let c0 = m0.capture_ns as f64;
+        let c1 = m1.capture_ns as f64;
+        assert!((c0 - c1).abs() / c0 < 0.05);
+    }
+    // Portable capture path (no JVMTI at dest) is much slower than JVMTI
+    // capture on the cluster (Table VII ~14 ms vs ~0.4 ms).
+    assert!(results[0].1.capture_ns > 5 * MS);
+    assert!(sim_total_under(&results, 60 * SEC));
+}
+
+fn sim_total_under(results: &[(u64, sod_runtime::MigrationTimings)], cap: u64) -> bool {
+    results.iter().all(|(_, m)| m.latency_ns() < cap)
+}
+
+#[test]
+fn deep_fetch_reduces_fault_count() {
+    // A linked list walked after migration: shallow faults once per node,
+    // deep prefetches the closure.
+    let c = ClassBuilder::new("L")
+        .field("val", TypeOf::Int)
+        .field("next", TypeOf::Ref)
+        .method("build", &["n"], |m| {
+            m.line();
+            m.pushnull().store("head");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.new_obj("L").store("node");
+            m.line();
+            m.load("node").load("i").putfield("val");
+            m.line();
+            m.load("node").load("head").putfield("next");
+            m.line();
+            m.load("node").store("head");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("head").retv();
+        })
+        .method("sum", &["head", "spin"], |m| {
+            // Busy loop first so the migration point lands before the walk.
+            m.line();
+            m.pushi(0).store("j");
+            m.line();
+            m.label("spinl");
+            m.load("j").load("spin").if_cmp(Cmp::Ge, "walk");
+            m.line();
+            m.load("j").pushi(1).add().store("j").goto("spinl");
+            m.line();
+            m.label("walk");
+            m.pushi(0).store("acc");
+            m.line();
+            m.label("loop");
+            m.load("head").ifnull("done");
+            m.line();
+            m.load("acc").load("head").getfield("val").add().store("acc");
+            m.line();
+            m.load("head").getfield("next").store("head");
+            m.goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .method("main", &["n", "spin"], |m| {
+            m.line();
+            m.load("n").invoke("L", "build", 1).store("h");
+            m.line();
+            m.load("h").load("spin").invoke("L", "sum", 2).store("s");
+            m.line();
+            m.load("s").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+    let run = |deep: bool| -> (u64, Option<i64>) {
+        let mut cluster = cluster_of(2, &class);
+        let pid = cluster.add_program(0, "L", "main", vec![Value::Int(40), Value::Int(400_000)]);
+        if deep {
+            cluster.programs[pid as usize].fetch_policy = sod_runtime::FetchPolicy::Deep;
+        }
+        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+        sim.start_program(0, pid);
+        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+        sim.run();
+        assert_eq!(sim.program(pid).error, None);
+        (sim.report(pid).object_faults, sim.report(pid).result)
+    };
+    let (shallow_faults, r1) = run(false);
+    let (deep_faults, r2) = run(true);
+    assert_eq!(r1, Some((0..40).sum()));
+    assert_eq!(r2, r1);
+    assert!(
+        shallow_faults > deep_faults,
+        "shallow={shallow_faults} deep={deep_faults}"
+    );
+    assert!(shallow_faults >= 40, "one fault per list node, got {shallow_faults}");
+}

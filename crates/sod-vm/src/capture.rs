@@ -1,0 +1,527 @@
+//! Partial-stack capture and restore — the heart of stack-on-demand.
+//!
+//! [`capture_segment`] exports the **topmost `nframes` frames** of a
+//! suspended thread as a [`CapturedState`]: per frame the class/method
+//! names, the pc, and the local-variable values; plus the static fields of
+//! all loaded classes. References are captured as [`CapturedValue::HomeRef`]
+//! (the home object identity) and are **nulled on restore** — the object
+//! fault machinery then fetches them on demand, which is exactly the
+//! paper's heap-on-demand co-design.
+//!
+//! Restore comes in two fidelity levels:
+//!
+//! * [`restore_segment_direct`] — in-VM re-establishment (what JESSICA2
+//!   does inside the JVM kernel, and what a production Rust runtime would
+//!   do). One call, frames pushed bottom-up.
+//! * handler-based restore (see `begin_handler_restore`) — the paper's
+//!   portable protocol: invoke the bottom method, arm a breakpoint at its
+//!   entry, throw `InvalidStateException`, and let the preprocessor-injected
+//!   *restoration handler* rebuild locals and `lookupswitch`-jump to the
+//!   saved pc, re-invoking the next method up. The two must agree — a
+//!   property test in `sod-preprocess` verifies it.
+
+
+use crate::error::{VmError, VmResult};
+use crate::frame::Frame;
+use crate::interp::{RestoreSession, Vm};
+use crate::tooling::{Tooling, ToolingPath};
+use crate::value::{ObjId, Value};
+
+/// A captured value: primitives travel by value, references by home
+/// identity (to be nulled or remapped at the destination).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CapturedValue {
+    Int(i64),
+    Num(f64),
+    Null,
+    /// A reference, recorded as the home VM's object id.
+    HomeRef(ObjId),
+}
+
+impl CapturedValue {
+    /// Capture a value from a VM that *is* the home node: local refs export
+    /// their own ids. (For worker-side re-export, use
+    /// [`crate::interp::Vm::export_value`], which maps cached copies back to
+    /// their master identity.)
+    pub fn from_value(v: Value) -> Self {
+        match v {
+            Value::Int(i) => CapturedValue::Int(i),
+            Value::Num(n) => CapturedValue::Num(n),
+            Value::Null => CapturedValue::Null,
+            Value::Ref(id) => CapturedValue::HomeRef(id),
+            Value::NulledRef(h) => CapturedValue::HomeRef(h),
+        }
+    }
+
+    /// SOD restore semantics: references become transfer-nulled values —
+    /// indistinguishable from `null` to the guest, but carrying the home
+    /// identity for the object-fault machinery.
+    pub fn to_nulled_value(self) -> Value {
+        match self {
+            CapturedValue::Int(i) => Value::Int(i),
+            CapturedValue::Num(n) => Value::Num(n),
+            CapturedValue::Null => Value::Null,
+            CapturedValue::HomeRef(h) => Value::NulledRef(h),
+        }
+    }
+
+    /// Eager-copy restore semantics: references remap through a home→local
+    /// object id table (process-migration baseline).
+    pub fn to_mapped_value(self, map: impl Fn(ObjId) -> Option<ObjId>) -> VmResult<Value> {
+        Ok(match self {
+            CapturedValue::Int(i) => Value::Int(i),
+            CapturedValue::Num(n) => Value::Num(n),
+            CapturedValue::Null => Value::Null,
+            CapturedValue::HomeRef(h) => Value::Ref(map(h).ok_or(VmError::BadRef(h))?),
+        })
+    }
+
+    /// Serialized size in bytes (tag + payload), for transfer costing.
+    pub fn wire_bytes(self) -> u64 {
+        match self {
+            CapturedValue::Null => 1,
+            _ => 9,
+        }
+    }
+}
+
+/// One captured frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedFrame {
+    pub class: String,
+    pub method: String,
+    pub pc: u32,
+    pub locals: Vec<CapturedValue>,
+}
+
+impl CapturedFrame {
+    pub fn wire_bytes(&self) -> u64 {
+        8 + self.class.len() as u64
+            + self.method.len() as u64
+            + 4
+            + self.locals.iter().map(|v| v.wire_bytes()).sum::<u64>()
+    }
+}
+
+/// Captured statics of one class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedStatics {
+    pub class: String,
+    pub values: Vec<CapturedValue>,
+}
+
+impl CapturedStatics {
+    pub fn wire_bytes(&self) -> u64 {
+        4 + self.class.len() as u64 + self.values.iter().map(|v| v.wire_bytes()).sum::<u64>()
+    }
+}
+
+/// The unit SOD ships: a segment of frames (bottom-up) plus class statics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedState {
+    /// Frames bottom-up: `frames[0]` is the oldest frame of the segment.
+    pub frames: Vec<CapturedFrame>,
+    pub statics: Vec<CapturedStatics>,
+}
+
+impl CapturedState {
+    /// Serialized size of the state message (drives transfer time).
+    pub fn wire_bytes(&self) -> u64 {
+        16 + self.frames.iter().map(|f| f.wire_bytes()).sum::<u64>()
+            + self.statics.iter().map(|s| s.wire_bytes()).sum::<u64>()
+    }
+
+    /// Accumulated size of local and static fields — the paper's Table I
+    /// `F` column.
+    pub fn field_bytes(&self) -> u64 {
+        let locals: u64 = self
+            .frames
+            .iter()
+            .map(|f| f.locals.len() as u64 * Value::SLOT_BYTES)
+            .sum();
+        let statics: u64 = self
+            .statics
+            .iter()
+            .map(|s| s.values.len() as u64 * Value::SLOT_BYTES)
+            .sum();
+        locals + statics
+    }
+}
+
+/// Capture the top `nframes` frames of thread `tid` through the given
+/// tooling path, charging the returned meter total.
+///
+/// Requirements (mirroring the paper's migration-safe points):
+/// * the top frame must sit at an MSP (line start, empty operand stack);
+/// * every other captured frame must have an empty operand stack (true at
+///   call sites by construction after preprocessing);
+/// * no captured frame may be pinned.
+pub fn capture_segment(
+    vm: &mut Vm,
+    tid: usize,
+    nframes: usize,
+    path: ToolingPath,
+) -> VmResult<(CapturedState, u64)> {
+    // Validate the migration point first (no tooling charges for errors).
+    {
+        let t = vm.thread(tid)?;
+        let height = t.frames.len();
+        if nframes == 0 || nframes > height {
+            return Err(VmError::BadThread(tid));
+        }
+        let top = t.top().expect("frames");
+        let summary = &vm.classes[top.class_idx].summaries[top.method_idx];
+        if !top.ostack.is_empty() || !summary.is_msp(top.pc) {
+            let m = &vm.classes[top.class_idx].def.methods[top.method_idx];
+            return Err(VmError::NotAtMigrationSafePoint {
+                method: m.name.clone(),
+                pc: top.pc,
+            });
+        }
+        for f in &t.frames[height - nframes..] {
+            if f.pinned {
+                return Err(VmError::NotAtMigrationSafePoint {
+                    method: "pinned frame in segment".into(),
+                    pc: f.pc,
+                });
+            }
+            if !f.ostack.is_empty() && !std::ptr::eq(f, top) {
+                // Call-site frames must have empty operand stacks; this is
+                // guaranteed by preprocessing, so a violation is an error.
+                return Err(VmError::NotAtMigrationSafePoint {
+                    method: "non-empty operand stack below top".into(),
+                    pc: f.pc,
+                });
+            }
+        }
+    }
+
+    let mut tool = Tooling::new(vm, path);
+    tool.suspend_thread(tid);
+
+    let mut frames = Vec::with_capacity(nframes);
+    // JVMTI depth 0 = top; we want bottom-up order in the segment.
+    for depth in (0..nframes).rev() {
+        let (class, method, pc) = tool.get_frame_location(tid, depth)?;
+        let nlocals = tool.get_local_count(tid, depth)?;
+        let mut locals = Vec::with_capacity(nlocals as usize);
+        for slot in 0..nlocals {
+            locals.push(tool.get_local(tid, depth, slot)?);
+        }
+        frames.push(CapturedFrame {
+            class,
+            method,
+            pc,
+            locals,
+        });
+    }
+
+    // Statics of all loaded classes ("the information and static fields of
+    // loaded classes are saved").
+    let nclasses = tool.vm().classes.len();
+    let mut statics = Vec::new();
+    for ci in 0..nclasses {
+        let n = tool.vm().classes[ci].statics.len();
+        if n == 0 {
+            continue;
+        }
+        let mut values = Vec::with_capacity(n);
+        for si in 0..n {
+            values.push(tool.get_static(ci, si)?);
+        }
+        let class = tool.vm().classes[ci].def.name.clone();
+        statics.push(CapturedStatics { class, values });
+    }
+
+    let cost = tool.meter.ns;
+    Ok((CapturedState { frames, statics }, cost))
+}
+
+/// Re-establish a captured segment in `vm` directly (in-kernel restore):
+/// spawn a fresh thread whose frames are the captured ones, references
+/// nulled, statics installed. Returns the new thread id.
+///
+/// All referenced classes must already be loaded (the runtime's class
+/// shipping handles misses before calling this).
+pub fn restore_segment_direct(vm: &mut Vm, state: &CapturedState) -> VmResult<usize> {
+    install_statics(vm, state, true)?;
+
+    let mut frames = Vec::with_capacity(state.frames.len());
+    for cf in &state.frames {
+        let ci = vm
+            .class_idx(&cf.class)
+            .ok_or_else(|| VmError::ClassNotFound(cf.class.clone()))?;
+        let mi = vm.classes[ci]
+            .method_idx(&cf.method)
+            .ok_or_else(|| VmError::MethodNotFound {
+                class: cf.class.clone(),
+                method: cf.method.clone(),
+            })?;
+        let nlocals = vm.classes[ci].def.methods[mi].nlocals;
+        if cf.locals.len() != nlocals as usize {
+            return Err(VmError::Verify {
+                method: cf.method.clone(),
+                reason: "locals layout mismatch".into(),
+            });
+        }
+        let mut f = Frame::new(ci, mi, nlocals);
+        f.pc = cf.pc;
+        for (i, v) in cf.locals.iter().enumerate() {
+            f.locals[i] = v.to_nulled_value();
+        }
+        frames.push(f);
+    }
+
+    let tid = {
+        let mut t = crate::interp::VmThread::new_restored(frames);
+        t.seg_frames = state.frames.len();
+        vm.threads.push(t);
+        vm.threads.len() - 1
+    };
+    Ok(tid)
+}
+
+/// Install captured statics into `vm`, nulling references and recording
+/// restored-null flags. `strict` demands exact layout agreement.
+fn install_statics(vm: &mut Vm, state: &CapturedState, strict: bool) -> VmResult<()> {
+    for s in &state.statics {
+        let Some(ci) = vm.class_idx(&s.class) else {
+            return Err(VmError::ClassNotFound(s.class.clone()));
+        };
+        if strict && vm.classes[ci].statics.len() != s.values.len() {
+            return Err(VmError::Verify {
+                method: s.class.clone(),
+                reason: "statics layout mismatch".into(),
+            });
+        }
+        let n = vm.classes[ci].statics.len();
+        for (i, v) in s.values.iter().enumerate() {
+            if i < n {
+                vm.classes[ci].statics[i] = v.to_nulled_value();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Begin the paper's handler-based restore protocol: install the restore
+/// session, spawn the bottom method with captured (nulled) arguments, and
+/// arm a breakpoint at its entry. The caller then drives the
+/// breakpoint → `InvalidStateException` → restoration-handler cycle (see
+/// `sod-runtime`'s worker session) until all frames are re-established.
+///
+/// Returns the new thread id.
+pub fn begin_handler_restore(vm: &mut Vm, state: &CapturedState) -> VmResult<usize> {
+    if state.frames.is_empty() {
+        return Err(VmError::RestoreProtocol("empty segment"));
+    }
+    install_statics(vm, state, false)?;
+
+    let bottom = &state.frames[0];
+    let ci = vm
+        .class_idx(&bottom.class)
+        .ok_or_else(|| VmError::ClassNotFound(bottom.class.clone()))?;
+    let mi = vm.classes[ci]
+        .method_idx(&bottom.method)
+        .ok_or_else(|| VmError::MethodNotFound {
+            class: bottom.class.clone(),
+            method: bottom.method.clone(),
+        })?;
+    let nargs = vm.classes[ci].def.methods[mi].nargs as usize;
+    let args: Vec<Value> = bottom
+        .locals
+        .iter()
+        .take(nargs)
+        .map(|v| v.to_nulled_value())
+        .collect();
+
+    vm.restore_session = Some(RestoreSession {
+        frames: state
+            .frames
+            .iter()
+            .map(|f| (f.locals.clone(), f.pc))
+            .collect(),
+        cursor: 0,
+    });
+
+    let names: (String, String) = (bottom.class.clone(), bottom.method.clone());
+    let tid = vm.spawn(&names.0, &names.1, &args)?;
+    vm.threads[tid].seg_frames = state.frames.len();
+    vm.set_breakpoint(ci, mi, 0);
+    Ok(tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDef, FieldDef, MethodDef};
+    use crate::instr::{Cmp, Instr};
+    use crate::interp::{RunMode, StepOutcome};
+    use crate::value::TypeOf;
+
+    /// Main.main: x=10; y=f(x); return y+1  /  f(n): loop forever at line 2.
+    fn looping_vm() -> (Vm, usize) {
+        let mut c = ClassDef::new("Main").with_field(FieldDef::stat("s", TypeOf::Int));
+        let main_n = c.intern("Main");
+        let f = c.intern("f");
+        let s = c.intern("s");
+        c.methods.push(MethodDef::new("main", 0, 2).with_code(
+            vec![
+                Instr::PushI(10),                  // 0 line 1
+                Instr::Store(0),                   // 1
+                Instr::PushI(77),                  // 2 line 2
+                Instr::PutStatic(main_n, s),       // 3
+                Instr::Load(0),                    // 4 line 3
+                Instr::InvokeStatic(main_n, f, 1), // 5
+                Instr::Store(1),                   // 6
+                Instr::Load(1),                    // 7 line 4
+                Instr::PushI(1),                   // 8
+                Instr::Add,                        // 9
+                Instr::RetV,                       // 10
+            ],
+            vec![1, 1, 2, 2, 3, 3, 3, 4, 4, 4, 4],
+        ));
+        c.methods.push(MethodDef::new("f", 1, 1).with_code(
+            vec![
+                Instr::PushI(5),        // 0 line 1
+                Instr::Store(1),        // 1
+                Instr::Load(1),         // 2 line 2 (MSP), loop here
+                Instr::IfZ(Cmp::Ge, 2), // 3  (5 >= 0 always)
+                Instr::Load(0),         // 4 line 3
+                Instr::RetV,            // 5
+            ],
+            vec![1, 1, 2, 2, 3, 3],
+        ));
+        let mut vm = Vm::new();
+        vm.load_class(&c).unwrap();
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        // Run until inside f's loop.
+        vm.run(tid, 400, RunMode::Normal).unwrap();
+        assert_eq!(vm.thread(tid).unwrap().frames.len(), 2);
+        (vm, tid)
+    }
+
+    fn stop_at_msp(vm: &mut Vm, tid: usize) {
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::StopAtMsp).unwrap();
+        assert!(matches!(out, StepOutcome::AtMsp { .. }), "got {out:?}");
+    }
+
+    #[test]
+    fn capture_top_frame_shape() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        let (state, cost) = capture_segment(&mut vm, tid, 1, ToolingPath::Jvmti).unwrap();
+        assert_eq!(state.frames.len(), 1);
+        let f = &state.frames[0];
+        assert_eq!(f.method, "f");
+        assert_eq!(f.locals.len(), 2);
+        assert_eq!(f.locals[0], CapturedValue::Int(10)); // arg n
+        // Statics captured.
+        assert_eq!(state.statics.len(), 1);
+        assert_eq!(state.statics[0].values, vec![CapturedValue::Int(77)]);
+        // JVMTI costs: suspend + per-frame + 2 locals ≥ 60us.
+        assert!(cost > 60_000, "cost {cost}");
+        assert!(state.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn capture_two_frames_bottom_up() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        let (state, _) = capture_segment(&mut vm, tid, 2, ToolingPath::Jvmti).unwrap();
+        assert_eq!(state.frames.len(), 2);
+        assert_eq!(state.frames[0].method, "main"); // bottom first
+        assert_eq!(state.frames[1].method, "f");
+        assert_eq!(state.frames[0].pc, 5); // parked at the invoke
+    }
+
+    #[test]
+    fn internal_path_is_cheaper() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        let (_, jvmti_cost) = capture_segment(&mut vm, tid, 2, ToolingPath::Jvmti).unwrap();
+        let (_, internal_cost) = capture_segment(&mut vm, tid, 2, ToolingPath::Internal).unwrap();
+        assert!(jvmti_cost > 5 * internal_cost);
+    }
+
+    #[test]
+    fn capture_requires_msp() {
+        let (mut vm, tid) = looping_vm();
+        // Step to a non-MSP point: pc 3 of f (mid line 2).
+        loop {
+            let f = vm.thread(tid).unwrap().top().unwrap();
+            if f.pc == 3 && vm.classes[f.class_idx].def.methods[f.method_idx].name == "f" {
+                break;
+            }
+            vm.step(tid).unwrap();
+        }
+        let err = capture_segment(&mut vm, tid, 1, ToolingPath::Jvmti).unwrap_err();
+        assert!(matches!(err, VmError::NotAtMigrationSafePoint { .. }));
+    }
+
+    #[test]
+    fn pinned_frames_refuse_capture() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        vm.thread_mut(tid).unwrap().frames[0].pinned = true;
+        // Top frame alone is fine...
+        assert!(capture_segment(&mut vm, tid, 1, ToolingPath::Jvmti).is_ok());
+        // ...but a segment including the pinned frame is not.
+        assert!(capture_segment(&mut vm, tid, 2, ToolingPath::Jvmti).is_err());
+    }
+
+    #[test]
+    fn direct_restore_resumes_identically() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        let (state, _) = capture_segment(&mut vm, tid, 2, ToolingPath::Internal).unwrap();
+
+        // Fresh "worker" VM with the same class.
+        let mut worker = Vm::new();
+        let def = vm.classes[0].def.clone();
+        worker.load_class(&def).unwrap();
+        let wtid = restore_segment_direct(&mut worker, &state).unwrap();
+        assert_eq!(worker.thread(wtid).unwrap().frames.len(), 2);
+        assert_eq!(worker.thread(wtid).unwrap().seg_frames, 2);
+        // Statics came across.
+        assert_eq!(worker.classes[0].statics, vec![Value::Int(77)]);
+        // The restored thread continues: f loops forever, so force the loop
+        // exit by zeroing its loop counter, then run to completion.
+        worker.thread_mut(wtid).unwrap().frames[1].locals[1] = Value::Int(-1);
+        let (out, _) = worker.run(wtid, u64::MAX, RunMode::Normal).unwrap();
+        // f returns n (=10), main returns 11.
+        assert_eq!(out, StepOutcome::Returned(Some(Value::Int(11))));
+    }
+
+    #[test]
+    fn captured_state_sizes() {
+        let (mut vm, tid) = looping_vm();
+        stop_at_msp(&mut vm, tid);
+        let (s1, _) = capture_segment(&mut vm, tid, 1, ToolingPath::Internal).unwrap();
+        let (s2, _) = capture_segment(&mut vm, tid, 2, ToolingPath::Internal).unwrap();
+        assert!(s2.wire_bytes() > s1.wire_bytes());
+        assert!(s1.field_bytes() >= 2 * 8);
+    }
+
+    #[test]
+    fn captured_value_roundtrips() {
+        assert_eq!(
+            CapturedValue::from_value(Value::Int(3)).to_nulled_value(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            CapturedValue::from_value(Value::Ref(9)).to_nulled_value(),
+            Value::NulledRef(9)
+        );
+        // A transfer-nulled ref is NOT guest-null (it denotes a live home
+        // object); only dereferencing it faults.
+        assert!(!Value::NulledRef(9).is_null());
+        assert!(Value::NulledRef(9).as_ref_id().is_err());
+        assert_eq!(Value::NulledRef(9).nulled_home(), Some(9));
+        let mapped = CapturedValue::HomeRef(9)
+            .to_mapped_value(|h| (h == 9).then_some(4))
+            .unwrap();
+        assert_eq!(mapped, Value::Ref(4));
+        assert!(CapturedValue::HomeRef(9).to_mapped_value(|_| None).is_err());
+    }
+}

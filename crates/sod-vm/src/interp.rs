@@ -1,0 +1,2243 @@
+//! The interpreter: a pure, steppable state machine over frames.
+//!
+//! Design principles:
+//!
+//! * **Everything suspends.** Each [`Vm::step`] executes exactly one
+//!   instruction; [`Vm::run`] executes until a virtual-time budget runs out
+//!   or the thread blocks. Blocking conditions — host intrinsics, object
+//!   faults, missing classes, breakpoints, unhandled exceptions — are
+//!   returned as [`StepOutcome`] values, never handled with callbacks. This
+//!   keeps the VM deterministic and lets the discrete-event runtime
+//!   interleave many VMs on one virtual clock.
+//! * **Costs are explicit.** Every instruction charges virtual nanoseconds
+//!   from [`crate::costs`]; allocations charge per byte. The meter is the
+//!   source of execution time for every experiment in the paper
+//!   reproduction.
+//! * **Migration hooks are first-class.** The interpreter understands
+//!   migration-safe points (line starts with empty operand stacks), tracks
+//!   the last-passed safe point of every frame (for exception-driven
+//!   offload), and exposes run modes that stop at the next safe point when a
+//!   migration request is pending.
+
+use std::collections::HashMap;
+
+use crate::analysis::{class_summaries, MethodSummary};
+use crate::capture::CapturedValue;
+use crate::class::{ClassDef, ExKind};
+use crate::costs::{alloc_cost, instr_cost, INTERP_MODE_FACTOR};
+use crate::error::{VmError, VmResult};
+use crate::frame::Frame;
+use crate::heap::{Heap, ObjKind};
+use crate::instr::Instr;
+use crate::intrinsics::{self, IntrinsicEval};
+use crate::value::{ObjId, Value};
+
+/// A class loaded (linked) into a VM.
+#[derive(Clone, Debug)]
+pub struct LoadedClass {
+    pub def: ClassDef,
+    pub summaries: Vec<MethodSummary>,
+    pub statics: Vec<Value>,
+    method_map: HashMap<String, usize>,
+    instance_field_map: HashMap<String, usize>,
+    static_field_map: HashMap<String, usize>,
+}
+
+impl LoadedClass {
+    fn link(def: ClassDef) -> VmResult<Self> {
+        let summaries = class_summaries(&def)?;
+        let method_map = def
+            .methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), i))
+            .collect();
+        let instance_field_map = def
+            .fields
+            .iter()
+            .filter(|f| !f.is_static)
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let static_field_map = def
+            .fields
+            .iter()
+            .filter(|f| f.is_static)
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let statics = def.default_static_values();
+        Ok(LoadedClass {
+            def,
+            summaries,
+            statics,
+            method_map,
+            instance_field_map,
+            static_field_map,
+        })
+    }
+
+    pub fn method_idx(&self, name: &str) -> Option<usize> {
+        self.method_map.get(name).copied()
+    }
+
+    pub fn instance_field_idx(&self, name: &str) -> Option<usize> {
+        self.instance_field_map.get(name).copied()
+    }
+
+    pub fn static_field_idx(&self, name: &str) -> Option<usize> {
+        self.static_field_map.get(name).copied()
+    }
+}
+
+/// Why a thread is parked.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParkReason {
+    /// Waiting for a host intrinsic reply.
+    HostCall { name: String, args: Vec<Value> },
+    /// Waiting for a remote object (SOD object fault).
+    ObjectFault(ObjectQuery),
+    /// Waiting for a class to be loaded (on-demand code shipping).
+    ClassMiss(String),
+}
+
+/// Scheduling state of a thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ThreadState {
+    Runnable,
+    Parked(ParkReason),
+    /// Finished normally with an optional return value of the root frame.
+    Finished(Option<Value>),
+    /// A guest exception escaped; frames are preserved at the throw point so
+    /// a migration policy can inspect or retry (exception-driven offload).
+    Faulted(ExceptionInfo),
+}
+
+/// Description of an escaped guest exception.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExceptionInfo {
+    pub kind: ExKind,
+    pub message: String,
+    /// pc of the faulting instruction in the top frame.
+    pub pc: u32,
+}
+
+/// What the home node must resolve to satisfy an object fault: the master
+/// copy of a home object. Because every transfer-nulled reference carries
+/// its home identity ([`Value::NulledRef`]), all fault resolution is
+/// fetch-by-home-id against the home heap — the same home-based protocol
+/// the paper's object manager implements via JVMTI lookups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectQuery {
+    /// Identity of the master copy in the home VM's heap.
+    pub home_id: ObjId,
+}
+
+/// Where to install a fetched object (mirrors the `Bring*` instruction that
+/// faulted).
+#[derive(Clone, Debug, PartialEq)]
+enum FaultBind {
+    Local { slot: u16 },
+    Field { base: ObjId, field_idx: usize },
+    StaticTo { class_idx: usize, static_idx: usize, dest_slot: u16 },
+    ElemTo { base: ObjId, index: i64, dest_slot: u16 },
+    /// Status-checking baseline: the runtime filled the stub in place; no
+    /// binding beyond unparking is required.
+    Stub,
+}
+
+/// A parked object fault: what was asked and where the answer goes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingFault {
+    pub query: ObjectQuery,
+    bind: FaultBind,
+}
+
+/// One guest thread.
+#[derive(Clone, Debug)]
+pub struct VmThread {
+    pub frames: Vec<Frame>,
+    pub state: ThreadState,
+    /// Pending fault metadata while parked on `ObjectFault`.
+    pub pending_fault: Option<PendingFault>,
+    /// pc the active NPE fault handler should treat as the fault origin
+    /// (for application-level NPE rethrow).
+    npe_origin_pc: Option<u32>,
+    /// Highest frame count ever reached (the paper's Table I `h`).
+    pub max_height: usize,
+    /// Number of the bottom frames restored from a migrated segment; frames
+    /// `0..seg_frames` correspond to home segment frames 0..n (bottom-up).
+    pub seg_frames: usize,
+}
+
+impl VmThread {
+    fn new() -> Self {
+        VmThread {
+            frames: Vec::with_capacity(16),
+            state: ThreadState::Runnable,
+            pending_fault: None,
+            npe_origin_pc: None,
+            max_height: 0,
+            seg_frames: 0,
+        }
+    }
+
+    /// Build a runnable thread from pre-established frames (direct restore
+    /// of a migrated segment).
+    pub fn new_restored(frames: Vec<Frame>) -> Self {
+        let height = frames.len();
+        VmThread {
+            frames,
+            state: ThreadState::Runnable,
+            pending_fault: None,
+            npe_origin_pc: None,
+            max_height: height,
+            seg_frames: 0,
+        }
+    }
+
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    pub fn top_mut(&mut self) -> Option<&mut Frame> {
+        self.frames.last_mut()
+    }
+
+    pub fn is_runnable(&self) -> bool {
+        matches!(self.state, ThreadState::Runnable)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, ThreadState::Finished(_) | ThreadState::Faulted(_))
+    }
+
+    /// Total state bytes across frames (paper's captured-state sizing).
+    pub fn stack_state_bytes(&self) -> u64 {
+        self.frames.iter().map(Frame::state_bytes).sum()
+    }
+}
+
+/// Result of one [`Vm::step`] or a [`Vm::run`] slice.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepOutcome {
+    /// Instruction executed; thread still runnable.
+    Continue,
+    /// An armed breakpoint at (class_idx, method_idx, pc) was hit *before*
+    /// executing that pc; the breakpoint is disarmed. Used by the
+    /// restoration driver (the paper's `cbBreakpoint`).
+    Breakpoint {
+        class_idx: usize,
+        method_idx: usize,
+        pc: u32,
+    },
+    /// Thread parked on a host intrinsic.
+    HostCall { name: String, args: Vec<Value> },
+    /// Thread parked on a remote-object fault.
+    ObjectFault(ObjectQuery),
+    /// Thread parked awaiting a class definition.
+    ClassMiss(String),
+    /// Stopped at a migration-safe point (only in [`RunMode::StopAtMsp`]).
+    AtMsp { pc: u32 },
+    /// Thread finished; root return value.
+    Returned(Option<Value>),
+    /// A guest exception escaped the outermost frame; frames preserved.
+    Unhandled(ExceptionInfo),
+}
+
+/// How [`Vm::run`] decides to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Run until budget exhaustion or a blocking outcome.
+    Normal,
+    /// Additionally stop when the *top frame* reaches a migration-safe point
+    /// (used when a migration request is pending).
+    StopAtMsp,
+}
+
+/// Restoration session state: the captured frames being re-established by
+/// the breakpoint + `InvalidStateException` protocol.
+#[derive(Clone, Debug)]
+pub struct RestoreSession {
+    /// Captured locals per frame (bottom-up) and the captured pc.
+    pub frames: Vec<(Vec<CapturedValue>, u32)>,
+    /// Frame currently being restored.
+    pub cursor: usize,
+}
+
+/// The virtual machine: loaded classes, heap, threads, meters.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    pub classes: Vec<LoadedClass>,
+    class_index: HashMap<String, usize>,
+    pub heap: Heap,
+    pub threads: Vec<VmThread>,
+    interned: HashMap<String, ObjId>,
+    /// Captured `print` output.
+    pub stdout: Vec<String>,
+    /// Armed breakpoints (class_idx, method_idx, pc).
+    breakpoints: Vec<(usize, usize, u32)>,
+    /// Active restoration session, if any.
+    pub restore_session: Option<RestoreSession>,
+    /// Virtual nanoseconds of guest execution accumulated so far.
+    pub meter_ns: u64,
+    /// Instructions retired.
+    pub instr_count: u64,
+    /// When true, instruction costs are multiplied by
+    /// [`INTERP_MODE_FACTOR`] (debugger active → interpreted mode).
+    pub interp_mode: bool,
+    /// Per-mille execution cost scale ≥ 1000; models the idle overhead of an
+    /// attached tooling agent (the paper's C1) and slower JITs (JESSICA2).
+    pub cost_scale_per_mille: u32,
+    /// Heap byte budget; allocations beyond it raise guest `OutOfMemory`.
+    pub mem_limit: Option<u64>,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    pub fn new() -> Self {
+        Vm {
+            classes: Vec::new(),
+            class_index: HashMap::new(),
+            heap: Heap::new(),
+            threads: Vec::new(),
+            interned: HashMap::new(),
+            stdout: Vec::new(),
+            breakpoints: Vec::new(),
+            restore_session: None,
+            meter_ns: 0,
+            instr_count: 0,
+            interp_mode: false,
+            cost_scale_per_mille: 1000,
+            mem_limit: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Class management
+    // ------------------------------------------------------------------
+
+    /// Load (verify + link) a class. Duplicate names are rejected.
+    pub fn load_class(&mut self, def: &ClassDef) -> VmResult<usize> {
+        if self.class_index.contains_key(&def.name) {
+            return Err(VmError::DuplicateClass(def.name.clone()));
+        }
+        let linked = LoadedClass::link(def.clone())?;
+        let idx = self.classes.len();
+        self.class_index.insert(def.name.clone(), idx);
+        self.classes.push(linked);
+        Ok(idx)
+    }
+
+    pub fn class_idx(&self, name: &str) -> Option<usize> {
+        self.class_index.get(name).copied()
+    }
+
+    pub fn has_class(&self, name: &str) -> bool {
+        self.class_index.contains_key(name)
+    }
+
+    /// Names of all loaded classes.
+    pub fn class_names(&self) -> impl Iterator<Item = &str> {
+        self.classes.iter().map(|c| c.def.name.as_str())
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    /// Spawn a thread at `class.method(args)`. Returns the thread id.
+    pub fn spawn(&mut self, class: &str, method: &str, args: &[Value]) -> VmResult<usize> {
+        let ci = self
+            .class_idx(class)
+            .ok_or_else(|| VmError::ClassNotFound(class.to_owned()))?;
+        let mi = self.classes[ci]
+            .method_idx(method)
+            .ok_or_else(|| VmError::MethodNotFound {
+                class: class.to_owned(),
+                method: method.to_owned(),
+            })?;
+        let m = &self.classes[ci].def.methods[mi];
+        if args.len() != m.nargs as usize {
+            return Err(VmError::MethodNotFound {
+                class: class.to_owned(),
+                method: format!("{method}/{} (got {} args)", m.nargs, args.len()),
+            });
+        }
+        let mut t = VmThread::new();
+        t.frames.push(Frame::with_args(ci, mi, m.nlocals, args));
+        t.max_height = 1;
+        self.threads.push(t);
+        Ok(self.threads.len() - 1)
+    }
+
+    pub fn thread(&self, tid: usize) -> VmResult<&VmThread> {
+        self.threads.get(tid).ok_or(VmError::BadThread(tid))
+    }
+
+    pub fn thread_mut(&mut self, tid: usize) -> VmResult<&mut VmThread> {
+        self.threads.get_mut(tid).ok_or(VmError::BadThread(tid))
+    }
+
+    /// Ids of runnable threads.
+    pub fn runnable_threads(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_runnable())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Strings
+    // ------------------------------------------------------------------
+
+    /// Capture-export a value from this VM: a reference exports its
+    /// *master* identity — the home id recorded on a cached copy, or the
+    /// local id when this VM owns the object. Transfer-nulled refs re-export
+    /// the home identity they carry (multi-hop roaming).
+    pub fn export_value(&self, v: Value) -> crate::capture::CapturedValue {
+        use crate::capture::CapturedValue;
+        match v {
+            Value::Ref(id) => {
+                let home = self
+                    .heap
+                    .get(id)
+                    .ok()
+                    .and_then(|o| o.home_id)
+                    .unwrap_or(id);
+                CapturedValue::HomeRef(home)
+            }
+            other => CapturedValue::from_value(other),
+        }
+    }
+
+    /// Intern a string (the JVM's `ldc` string semantics).
+    pub fn intern_str(&mut self, s: &str) -> ObjId {
+        if let Some(&id) = self.interned.get(s) {
+            return id;
+        }
+        let id = self.heap.alloc_str(s);
+        self.interned.insert(s.to_owned(), id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Breakpoints (tooling support)
+    // ------------------------------------------------------------------
+
+    pub fn set_breakpoint(&mut self, class_idx: usize, method_idx: usize, pc: u32) {
+        if !self.breakpoints.contains(&(class_idx, method_idx, pc)) {
+            self.breakpoints.push((class_idx, method_idx, pc));
+        }
+    }
+
+    pub fn clear_breakpoint(&mut self, class_idx: usize, method_idx: usize, pc: u32) {
+        self.breakpoints
+            .retain(|&b| b != (class_idx, method_idx, pc));
+    }
+
+    pub fn breakpoints_armed(&self) -> usize {
+        self.breakpoints.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Execute one instruction of thread `tid`.
+    pub fn step(&mut self, tid: usize) -> VmResult<StepOutcome> {
+        match &self.thread(tid)?.state {
+            ThreadState::Runnable => {}
+            ThreadState::Parked(_) => return Err(VmError::ThreadParked(tid)),
+            ThreadState::Finished(v) => return Ok(StepOutcome::Returned(v.clone().flatten_unit())),
+            ThreadState::Faulted(e) => return Ok(StepOutcome::Unhandled(e.clone())),
+        }
+
+        let (ci, mi, pc) = {
+            let f = self.threads[tid].top().expect("runnable thread has frames");
+            (f.class_idx, f.method_idx, f.pc)
+        };
+
+        // Breakpoint check happens before execution and disarms the point.
+        if let Some(bp_pos) = self
+            .breakpoints
+            .iter()
+            .position(|&(c, m, p)| (c, m, p) == (ci, mi, pc))
+        {
+            self.breakpoints.swap_remove(bp_pos);
+            return Ok(StepOutcome::Breakpoint {
+                class_idx: ci,
+                method_idx: mi,
+                pc,
+            });
+        }
+
+        let instr = {
+            let code = &self.classes[ci].def.methods[mi].code;
+            match code.get(pc as usize) {
+                Some(i) => i.clone(),
+                None => return Err(VmError::BadPc(pc)),
+            }
+        };
+
+        self.charge(instr_cost(&instr));
+        self.instr_count += 1;
+
+        self.exec_instr(tid, ci, mi, pc, instr)
+    }
+
+    fn charge(&mut self, ns: u64) {
+        let mut cost = ns;
+        if self.interp_mode {
+            cost *= u64::from(INTERP_MODE_FACTOR);
+        }
+        cost = cost * u64::from(self.cost_scale_per_mille) / 1000;
+        self.meter_ns += cost;
+    }
+
+    /// Run thread `tid` for at most `budget_ns` of charged virtual time.
+    /// Returns the outcome and the virtual ns actually consumed.
+    pub fn run(&mut self, tid: usize, budget_ns: u64, mode: RunMode) -> VmResult<(StepOutcome, u64)> {
+        let start = self.meter_ns;
+        loop {
+            if mode == RunMode::StopAtMsp {
+                if let Some(pc) = self.at_msp(tid)? {
+                    return Ok((StepOutcome::AtMsp { pc }, self.meter_ns - start));
+                }
+            }
+            let out = self.step(tid)?;
+            if out != StepOutcome::Continue {
+                return Ok((out, self.meter_ns - start));
+            }
+            if self.meter_ns - start >= budget_ns {
+                return Ok((StepOutcome::Continue, self.meter_ns - start));
+            }
+        }
+    }
+
+    /// If thread `tid` is runnable and its top frame sits at a
+    /// migration-safe point, return that pc.
+    pub fn at_msp(&self, tid: usize) -> VmResult<Option<u32>> {
+        let t = self.thread(tid)?;
+        if !t.is_runnable() {
+            return Ok(None);
+        }
+        let f = t.top().ok_or(VmError::BadThread(tid))?;
+        let summary = &self.classes[f.class_idx].summaries[f.method_idx];
+        Ok((f.ostack.is_empty() && summary.is_msp(f.pc)).then_some(f.pc))
+    }
+
+    /// Convenience driver for single-VM execution: spawns `class.method`,
+    /// runs to completion, answering host calls with `host`.
+    pub fn run_to_completion_with(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[Value],
+        mut host: impl FnMut(&str, &[Value], &mut Vm) -> VmResult<Value>,
+    ) -> VmResult<Option<Value>> {
+        let tid = self.spawn(class, method, args)?;
+        loop {
+            let (out, _) = self.run(tid, u64::MAX, RunMode::Normal)?;
+            match out {
+                StepOutcome::Returned(v) => return Ok(v),
+                StepOutcome::HostCall { name, args } => {
+                    let v = host(&name, &args, self)?;
+                    self.resume_host(tid, v)?;
+                }
+                StepOutcome::Unhandled(e) => {
+                    return Err(VmError::UnhandledException {
+                        kind: e.kind,
+                        message: e.message,
+                    })
+                }
+                StepOutcome::ObjectFault(_) => {
+                    // In a single VM there is no home node: the null was real.
+                    self.fail_fault_app_npe(tid)?;
+                }
+                StepOutcome::ClassMiss(name) => {
+                    return Err(VmError::ClassNotFound(name));
+                }
+                StepOutcome::Breakpoint { .. } | StepOutcome::AtMsp { .. } => {
+                    // No breakpoints/migration in this driver; keep running.
+                }
+                StepOutcome::Continue => {}
+            }
+        }
+    }
+
+    /// As [`Vm::run_to_completion_with`] but failing on any host call.
+    pub fn run_to_completion(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[Value],
+    ) -> VmResult<Option<Value>> {
+        self.run_to_completion_with(class, method, args, |name, _, _| {
+            Err(VmError::UnknownIntrinsic(name.to_owned()))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Park/resume protocol
+    // ------------------------------------------------------------------
+
+    /// Resume a thread parked on [`ParkReason::HostCall`], pushing `value`
+    /// as the intrinsic result.
+    pub fn resume_host(&mut self, tid: usize, value: Value) -> VmResult<()> {
+        let t = self.thread_mut(tid)?;
+        match &t.state {
+            ThreadState::Parked(ParkReason::HostCall { .. }) => {}
+            _ => return Err(VmError::ThreadParked(tid)),
+        }
+        t.state = ThreadState::Runnable;
+        let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
+        f.ostack.push(value);
+        f.pc += 1;
+        Ok(())
+    }
+
+    /// Resume a thread parked on [`ParkReason::ClassMiss`] after the class
+    /// has been loaded; the faulting instruction re-executes.
+    pub fn resume_class_loaded(&mut self, tid: usize) -> VmResult<()> {
+        let t = self.thread_mut(tid)?;
+        match &t.state {
+            ThreadState::Parked(ParkReason::ClassMiss(_)) => {}
+            _ => return Err(VmError::ThreadParked(tid)),
+        }
+        t.state = ThreadState::Runnable;
+        Ok(())
+    }
+
+    /// Resume a thread parked on an object fault by installing a fetched
+    /// object copy. `local_id` must already be in this VM's heap with its
+    /// `home_id` recorded; the pending fault's binding is applied and the
+    /// faulting `Bring*` instruction completes.
+    pub fn resume_fetched(&mut self, tid: usize, local_id: ObjId) -> VmResult<()> {
+        let pending = {
+            let t = self.thread_mut(tid)?;
+            match &t.state {
+                ThreadState::Parked(ParkReason::ObjectFault(_)) => {}
+                _ => return Err(VmError::ThreadParked(tid)),
+            }
+            t.pending_fault.take().ok_or(VmError::RestoreProtocol(
+                "resume_fetched without pending fault",
+            ))?
+        };
+        self.apply_bind(tid, pending.bind, local_id)?;
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::Runnable;
+        let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
+        f.pc += 1; // move past the Bring* instruction (next is the retry Goto)
+        Ok(())
+    }
+
+    fn apply_bind(&mut self, tid: usize, bind: FaultBind, local_id: ObjId) -> VmResult<()> {
+        match bind {
+            FaultBind::Local { slot } => {
+                let t = &mut self.threads[tid];
+                let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
+                *f
+                    .locals
+                    .get_mut(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))? = Value::Ref(local_id);
+            }
+            FaultBind::Field { base, field_idx } => {
+                let obj = self.heap.get_mut(base)?;
+                match &mut obj.kind {
+                    ObjKind::Obj { fields, .. } => {
+                        *fields
+                            .get_mut(field_idx)
+                            .ok_or(VmError::BadRef(base))? = Value::Ref(local_id);
+                    }
+                    _ => return Err(VmError::BadRef(base)),
+                }
+            }
+            FaultBind::StaticTo {
+                class_idx,
+                static_idx,
+                dest_slot,
+            } => {
+                self.classes[class_idx].statics[static_idx] = Value::Ref(local_id);
+                let t = &mut self.threads[tid];
+                let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
+                *f
+                    .locals
+                    .get_mut(dest_slot as usize)
+                    .ok_or(VmError::BadLocalSlot(dest_slot))? = Value::Ref(local_id);
+            }
+            FaultBind::ElemTo {
+                base,
+                index,
+                dest_slot,
+            } => {
+                self.heap.arr_set(base, index, Value::Ref(local_id))?;
+                // arr_set marks dirty, but installing a fetched elem is not a
+                // guest write; undo the dirty mark.
+                self.heap.get_mut(base)?.dirty = false;
+                let t = &mut self.threads[tid];
+                let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
+                *f
+                    .locals
+                    .get_mut(dest_slot as usize)
+                    .ok_or(VmError::BadLocalSlot(dest_slot))? = Value::Ref(local_id);
+            }
+            FaultBind::Stub => {
+                // The runtime filled the stub in place; nothing to bind.
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail a parked object fault: the home value was genuinely null, so
+    /// deliver an application-level `NullPointerException` at the fault
+    /// origin (skipping fault handlers).
+    pub fn fail_fault_app_npe(&mut self, tid: usize) -> VmResult<()> {
+        let t = self.thread_mut(tid)?;
+        match &t.state {
+            ThreadState::Parked(ParkReason::ObjectFault(_)) => {}
+            _ => return Err(VmError::ThreadParked(tid)),
+        }
+        t.pending_fault = None;
+        t.state = ThreadState::Runnable;
+        let origin = t.npe_origin_pc.take();
+        if let Some(pc) = origin {
+            if let Some(f) = t.top_mut() {
+                f.pc = pc;
+            }
+        }
+        self.throw_into(tid, ExKind::NullPointer, "null (application level)", true)
+    }
+
+    // ------------------------------------------------------------------
+    // Exception machinery
+    // ------------------------------------------------------------------
+
+    /// Throw a guest exception of `kind` into thread `tid` at its current
+    /// pc. With `suppress_fault_handlers`, preprocessor-injected fault
+    /// handler entries are skipped during dispatch (application-level NPE).
+    pub fn throw_into(
+        &mut self,
+        tid: usize,
+        kind: ExKind,
+        message: &str,
+        suppress_fault_handlers: bool,
+    ) -> VmResult<()> {
+        let ex_ref = self.heap.alloc_exception(kind, message);
+        self.dispatch_exception(tid, kind, message, ex_ref, suppress_fault_handlers)
+            .map(|_| ())
+    }
+
+    /// Find a handler for `kind` walking frames top-down. On success, frames
+    /// above the handler are popped and the handler frame's pc/ostack are
+    /// set. On failure the thread faults with frames preserved.
+    ///
+    /// Returns `true` if a handler was entered.
+    fn dispatch_exception(
+        &mut self,
+        tid: usize,
+        kind: ExKind,
+        message: &str,
+        ex_ref: ObjId,
+        suppress_fault_handlers: bool,
+    ) -> VmResult<bool> {
+        // Search phase (no mutation).
+        let mut target: Option<(usize, u32)> = None; // (frame index, handler pc)
+        {
+            let t = self.thread(tid)?;
+            'search: for (fi, frame) in t.frames.iter().enumerate().rev() {
+                let m = &self.classes[frame.class_idx].def.methods[frame.method_idx];
+                for e in &m.ex_table {
+                    if e.covers(frame.pc)
+                        && e.kind.catches(kind)
+                        && !(suppress_fault_handlers && e.fault_handler)
+                    {
+                        target = Some((fi, e.target));
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        match target {
+            Some((fi, hpc)) => {
+                let t = &mut self.threads[tid];
+                // Record the fault origin if we are entering a fault handler
+                // for an NPE: RethrowAppNpe needs it.
+                if kind == ExKind::NullPointer {
+                    t.npe_origin_pc = Some(t.frames[fi].pc);
+                }
+                t.frames.truncate(fi + 1);
+                if t.seg_frames > t.frames.len() {
+                    t.seg_frames = t.frames.len();
+                }
+                let f = t.frames.last_mut().expect("handler frame");
+                f.ostack.clear();
+                f.ostack.push(Value::Ref(ex_ref));
+                f.pc = hpc;
+                Ok(true)
+            }
+            None => {
+                let t = &mut self.threads[tid];
+                let pc = t.top().map(|f| f.pc).unwrap_or(0);
+                t.state = ThreadState::Faulted(ExceptionInfo {
+                    kind,
+                    message: message.to_owned(),
+                    pc,
+                });
+                Ok(false)
+            }
+        }
+    }
+
+    /// Deliver an application-level NPE at the recorded fault origin,
+    /// skipping object-fault handlers (the paper's "another null pointer
+    /// exception ... from the application level").
+    fn app_npe(&mut self, tid: usize) -> VmResult<StepOutcome> {
+        let origin = self.threads[tid].npe_origin_pc.take();
+        if let Some(opc) = origin {
+            if let Some(f) = self.threads[tid].top_mut() {
+                f.pc = opc;
+            }
+        }
+        self.throw_into(tid, ExKind::NullPointer, "null (application level)", true)?;
+        match &self.threads[tid].state {
+            ThreadState::Faulted(e) => Ok(StepOutcome::Unhandled(e.clone())),
+            _ => Ok(StepOutcome::Continue),
+        }
+    }
+
+    /// Helper used by instruction execution: throw and translate into a
+    /// step outcome.
+    fn throw_and_outcome(
+        &mut self,
+        tid: usize,
+        kind: ExKind,
+        message: &str,
+    ) -> VmResult<StepOutcome> {
+        self.throw_into(tid, kind, message, false)?;
+        match &self.threads[tid].state {
+            ThreadState::Faulted(e) => Ok(StepOutcome::Unhandled(e.clone())),
+            _ => Ok(StepOutcome::Continue),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation with memory budget
+    // ------------------------------------------------------------------
+
+    fn alloc_checked(
+        &mut self,
+        tid: usize,
+        bytes_estimate: u64,
+        alloc: impl FnOnce(&mut Heap) -> ObjId,
+    ) -> Result<ObjId, StepOutcome> {
+        if let Some(limit) = self.mem_limit {
+            if self.heap.used_bytes() + bytes_estimate > limit {
+                let out = self
+                    .throw_and_outcome(tid, ExKind::OutOfMemory, "heap budget exceeded")
+                    .expect("throw never fails");
+                return Err(out);
+            }
+        }
+        self.charge(alloc_cost(bytes_estimate));
+        Ok(alloc(&mut self.heap))
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(
+        &mut self,
+        tid: usize,
+        ci: usize,
+        mi: usize,
+        pc: u32,
+        instr: Instr,
+    ) -> VmResult<StepOutcome> {
+        use Instr::*;
+
+        macro_rules! frame {
+            () => {
+                self.threads[tid].frames.last_mut().expect("frame")
+            };
+        }
+        macro_rules! pop {
+            () => {
+                frame!().ostack.pop().ok_or(VmError::StackUnderflow)?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                let v = $v;
+                frame!().ostack.push(v);
+            }};
+        }
+        macro_rules! advance {
+            () => {{
+                frame!().pc = pc + 1;
+                Ok(StepOutcome::Continue)
+            }};
+        }
+        macro_rules! jump {
+            ($t:expr) => {{
+                frame!().pc = $t;
+                Ok(StepOutcome::Continue)
+            }};
+        }
+        macro_rules! npe {
+            () => {
+                return self.throw_and_outcome(tid, ExKind::NullPointer, "null dereference")
+            };
+        }
+
+        match instr {
+            PushI(v) => {
+                push!(Value::Int(v));
+                advance!()
+            }
+            PushF(v) => {
+                push!(Value::Num(v));
+                advance!()
+            }
+            PushStr(idx) => {
+                let s = self.classes[ci].def.pool_str(idx)?.to_owned();
+                let id = self.intern_str(&s);
+                push!(Value::Ref(id));
+                advance!()
+            }
+            PushNull => {
+                push!(Value::Null);
+                advance!()
+            }
+            Load(slot) => {
+                let v = *self.threads[tid]
+                    .top()
+                    .unwrap()
+                    .locals
+                    .get(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))?;
+                push!(v);
+                advance!()
+            }
+            Store(slot) => {
+                let v = pop!();
+                *frame!()
+                    .locals
+                    .get_mut(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))? = v;
+                advance!()
+            }
+            Dup => {
+                let v = *frame!().ostack.last().ok_or(VmError::StackUnderflow)?;
+                push!(v);
+                advance!()
+            }
+            Pop => {
+                pop!();
+                advance!()
+            }
+            Swap => {
+                let b = pop!();
+                let a = pop!();
+                push!(b);
+                push!(a);
+                advance!()
+            }
+            Add | Sub | Mul | Div | Rem => {
+                let b = pop!();
+                let a = pop!();
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        let r = match instr {
+                            Add => x.wrapping_add(y),
+                            Sub => x.wrapping_sub(y),
+                            Mul => x.wrapping_mul(y),
+                            Div | Rem => {
+                                if y == 0 {
+                                    return self.throw_and_outcome(
+                                        tid,
+                                        ExKind::DivByZero,
+                                        "integer division by zero",
+                                    );
+                                }
+                                if matches!(instr, Div) {
+                                    x.wrapping_div(y)
+                                } else {
+                                    x.wrapping_rem(y)
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        push!(Value::Int(r));
+                    }
+                    (Value::Num(x), Value::Num(y)) => {
+                        let r = match instr {
+                            Add => x + y,
+                            Sub => x - y,
+                            Mul => x * y,
+                            Div => x / y,
+                            Rem => x % y,
+                            _ => unreachable!(),
+                        };
+                        push!(Value::Num(r));
+                    }
+                    (a, b) => {
+                        return Err(VmError::TypeMismatch {
+                            expected: "matching numeric operands",
+                            found: if a.is_reference() {
+                                b.type_name()
+                            } else {
+                                a.type_name()
+                            },
+                        })
+                    }
+                }
+                advance!()
+            }
+            Neg => {
+                let a = pop!();
+                match a {
+                    Value::Int(x) => push!(Value::Int(x.wrapping_neg())),
+                    Value::Num(x) => push!(Value::Num(-x)),
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            expected: "numeric",
+                            found: other.type_name(),
+                        })
+                    }
+                }
+                advance!()
+            }
+            Shl | Shr | BAnd | BOr | BXor => {
+                let b = pop!().as_int()?;
+                let a = pop!().as_int()?;
+                let r = match instr {
+                    Shl => a.wrapping_shl(b as u32),
+                    Shr => a.wrapping_shr(b as u32),
+                    BAnd => a & b,
+                    BOr => a | b,
+                    BXor => a ^ b,
+                    _ => unreachable!(),
+                };
+                push!(Value::Int(r));
+                advance!()
+            }
+            I2F => {
+                let a = pop!().as_int()?;
+                push!(Value::Num(a as f64));
+                advance!()
+            }
+            F2I => {
+                let a = pop!().as_num()?;
+                push!(Value::Int(a as i64));
+                advance!()
+            }
+            If(cmp, t) => {
+                let b = pop!();
+                let a = pop!();
+                let sign = match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => x.cmp(&y) as i32,
+                    (Value::Num(x), Value::Num(y)) => {
+                        x.partial_cmp(&y).map(|o| o as i32).unwrap_or(1)
+                    }
+                    (Value::Ref(x), Value::Ref(y)) => (x != y) as i32,
+                    // Reference identity across fetch states: a
+                    // transfer-nulled ref equals the cached copy of the
+                    // same home object.
+                    (a, b) if a.is_reference() && b.is_reference() => {
+                        let ident = |v: Value| -> Option<(bool, ObjId)> {
+                            match v {
+                                Value::Null => None,
+                                Value::NulledRef(h) => Some((true, h)),
+                                Value::Ref(id) => match self.heap.get(id).ok().and_then(|o| o.home_id) {
+                                    Some(h) => Some((true, h)),
+                                    None => Some((false, id)),
+                                },
+                                _ => unreachable!("is_reference"),
+                            }
+                        };
+                        match (ident(a), ident(b)) {
+                            (None, None) => 0,
+                            (Some(x), Some(y)) => (x != y) as i32,
+                            _ => 1,
+                        }
+                    }
+                    (a, b) => {
+                        return Err(VmError::TypeMismatch {
+                            expected: "comparable operands",
+                            found: if a.is_reference() {
+                                b.type_name()
+                            } else {
+                                a.type_name()
+                            },
+                        })
+                    }
+                };
+                if cmp.eval_sign(sign) {
+                    jump!(t)
+                } else {
+                    advance!()
+                }
+            }
+            IfZ(cmp, t) => {
+                let a = pop!().as_int()?;
+                if cmp.eval_sign(a.cmp(&0) as i32) {
+                    jump!(t)
+                } else {
+                    advance!()
+                }
+            }
+            IfNull(t) => {
+                let a = pop!();
+                if a.is_null() {
+                    jump!(t)
+                } else {
+                    advance!()
+                }
+            }
+            IfNonNull(t) => {
+                let a = pop!();
+                if !a.is_null() {
+                    jump!(t)
+                } else {
+                    advance!()
+                }
+            }
+            Goto(t) => jump!(t),
+            Switch(sidx) => {
+                let key = pop!().as_int()?;
+                let table = self.classes[ci].def.methods[mi]
+                    .switches
+                    .get(sidx as usize)
+                    .ok_or(VmError::BadPoolIndex(sidx))?;
+                let t = table.lookup(key);
+                jump!(t)
+            }
+            New(cidx) => {
+                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
+                let Some(target_ci) = self.class_idx(&cname) else {
+                    return self.park_class_miss(tid, cname);
+                };
+                let fields = self.classes[target_ci].def.default_instance_values();
+                let bytes = 16 + fields.len() as u64 * Value::SLOT_BYTES;
+                match self.alloc_checked(tid, bytes, |h| h.alloc_obj(cname, fields)) {
+                    Ok(id) => {
+                        push!(Value::Ref(id));
+                        advance!()
+                    }
+                    Err(out) => Ok(out),
+                }
+            }
+            GetField(fidx) => {
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let base = pop!();
+                let Value::Ref(id) = base else { npe!() };
+                let obj = self.heap.get(id)?;
+                let ObjKind::Obj { class, fields } = &obj.kind else {
+                    return Err(VmError::TypeMismatch {
+                        expected: "object",
+                        found: "array/string",
+                    });
+                };
+                let target_ci =
+                    self.class_idx(class)
+                        .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
+                let fi = self.classes[target_ci]
+                    .instance_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class: class.clone(),
+                        field: fname.clone(),
+                    })?;
+                let v = fields[fi];
+                push!(v);
+                advance!()
+            }
+            PutField(fidx) => {
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let v = pop!();
+                let base = pop!();
+                let Value::Ref(id) = base else { npe!() };
+                let class = self.heap.get(id)?.class_name().to_owned();
+                let target_ci = self
+                    .class_idx(&class)
+                    .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
+                let fi = self.classes[target_ci]
+                    .instance_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class: class.clone(),
+                        field: fname.clone(),
+                    })?;
+                let obj = self.heap.get_mut(id)?;
+                match &mut obj.kind {
+                    ObjKind::Obj { fields, .. } => {
+                        fields[fi] = v;
+                        obj.dirty = true;
+                    }
+                    _ => unreachable!("class_name returned a class"),
+                }
+                advance!()
+            }
+            GetStatic(cidx, fidx) => {
+                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let Some(target_ci) = self.class_idx(&cname) else {
+                    return self.park_class_miss(tid, cname);
+                };
+                let fi = self.classes[target_ci]
+                    .static_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class: cname,
+                        field: fname,
+                    })?;
+                let v = self.classes[target_ci].statics[fi];
+                push!(v);
+                advance!()
+            }
+            PutStatic(cidx, fidx) => {
+                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let v = pop!();
+                let Some(target_ci) = self.class_idx(&cname) else {
+                    // Undo the pop before parking so re-execution is clean.
+                    push!(v);
+                    return self.park_class_miss(tid, cname);
+                };
+                let fi = self.classes[target_ci]
+                    .static_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class: cname,
+                        field: fname,
+                    })?;
+                self.classes[target_ci].statics[fi] = v;
+                advance!()
+            }
+            NewArr => {
+                let len = pop!().as_int()?;
+                if len < 0 {
+                    return self.throw_and_outcome(tid, ExKind::ArrayBounds, "negative length");
+                }
+                let bytes = 16 + len as u64 * Value::SLOT_BYTES;
+                match self.alloc_checked(tid, bytes, |h| h.alloc_arr(len as usize)) {
+                    Ok(id) => {
+                        push!(Value::Ref(id));
+                        advance!()
+                    }
+                    Err(out) => Ok(out),
+                }
+            }
+            ALoad => {
+                let idx = pop!().as_int()?;
+                let base = pop!();
+                let Value::Ref(id) = base else { npe!() };
+                match self.heap.arr_get(id, idx)? {
+                    Some(v) => {
+                        push!(v);
+                        advance!()
+                    }
+                    None => self.throw_and_outcome(
+                        tid,
+                        ExKind::ArrayBounds,
+                        &format!("index {idx} out of bounds"),
+                    ),
+                }
+            }
+            AStore => {
+                let v = pop!();
+                let idx = pop!().as_int()?;
+                let base = pop!();
+                let Value::Ref(id) = base else { npe!() };
+                if self.heap.arr_set(id, idx, v)? {
+                    advance!()
+                } else {
+                    self.throw_and_outcome(
+                        tid,
+                        ExKind::ArrayBounds,
+                        &format!("index {idx} out of bounds"),
+                    )
+                }
+            }
+            ArrLen => {
+                let base = pop!();
+                let Value::Ref(id) = base else { npe!() };
+                let len = self.heap.arr_len(id)?;
+                push!(Value::Int(len));
+                advance!()
+            }
+            InvokeStatic(cidx, midx, nargs) => {
+                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
+                let mname = self.classes[ci].def.pool_str(midx)?.to_owned();
+                let Some(target_ci) = self.class_idx(&cname) else {
+                    return self.park_class_miss(tid, cname);
+                };
+                let target_mi = self.classes[target_ci]
+                    .method_idx(&mname)
+                    .ok_or_else(|| VmError::MethodNotFound {
+                        class: cname,
+                        method: mname,
+                    })?;
+                self.push_callee_frame(tid, target_ci, target_mi, nargs)
+            }
+            InvokeVirtual(midx, nargs) => {
+                debug_assert!(nargs >= 1, "virtual call needs a receiver");
+                let mname = self.classes[ci].def.pool_str(midx)?.to_owned();
+                let recv = {
+                    let f = self.threads[tid].top().unwrap();
+                    let n = f.ostack.len();
+                    if n < nargs as usize {
+                        return Err(VmError::StackUnderflow);
+                    }
+                    f.ostack[n - nargs as usize]
+                };
+                let Value::Ref(id) = recv else { npe!() };
+                let cname = self.heap.get(id)?.class_name().to_owned();
+                let Some(target_ci) = self.class_idx(&cname) else {
+                    return self.park_class_miss(tid, cname);
+                };
+                let target_mi = self.classes[target_ci]
+                    .method_idx(&mname)
+                    .ok_or_else(|| VmError::MethodNotFound {
+                        class: cname,
+                        method: mname,
+                    })?;
+                self.push_callee_frame(tid, target_ci, target_mi, nargs)
+            }
+            Ret => self.pop_frame(tid, None),
+            RetV => {
+                let v = pop!();
+                self.pop_frame(tid, Some(v))
+            }
+            ThrowKind(kind) => self.throw_and_outcome(tid, kind, "thrown by bytecode"),
+            Throw => {
+                let exv = pop!();
+                let Value::Ref(id) = exv else { npe!() };
+                let (kind, message) = match &self.heap.get(id)?.kind {
+                    ObjKind::Exception { kind, message } => (*kind, message.clone()),
+                    _ => (ExKind::User(0), String::from("user object thrown")),
+                };
+                self.throw_and_outcome(tid, kind, &message)
+            }
+            NativeCall(nidx, nargs) => {
+                let name = self.classes[ci].def.pool_str(nidx)?.to_owned();
+                let mut args = vec![Value::Null; nargs as usize];
+                {
+                    let f = frame!();
+                    for i in (0..nargs as usize).rev() {
+                        args[i] = f.ostack.pop().ok_or(VmError::StackUnderflow)?;
+                    }
+                }
+                match intrinsics::eval(&name, &args, &mut self.heap, &mut self.stdout) {
+                    Err(VmError::NullDeref) => {
+                        // A null (or unfetched) reference reached a pure
+                        // intrinsic: surface as a guest NPE.
+                        return self.throw_and_outcome(
+                            tid,
+                            ExKind::NullPointer,
+                            "null argument to intrinsic",
+                        );
+                    }
+                    Err(e) => return Err(e),
+                    Ok(IntrinsicEval::Done(v)) => {
+                        push!(v);
+                        advance!()
+                    }
+                    Ok(IntrinsicEval::Host) => {
+                        let t = &mut self.threads[tid];
+                        t.state = ThreadState::Parked(ParkReason::HostCall {
+                            name: name.clone(),
+                            args: args.clone(),
+                        });
+                        Ok(StepOutcome::HostCall { name, args })
+                    }
+                }
+            }
+            ReadCaptured(slot) => {
+                let session = self
+                    .restore_session
+                    .as_ref()
+                    .ok_or(VmError::RestoreProtocol("ReadCaptured without session"))?;
+                let (locals, _) = session
+                    .frames
+                    .get(session.cursor)
+                    .ok_or(VmError::RestoreProtocol("restore cursor out of range"))?;
+                let v = locals
+                    .get(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))?
+                    .to_nulled_value();
+                push!(v);
+                advance!()
+            }
+            ReadCapturedPc => {
+                let session = self
+                    .restore_session
+                    .as_ref()
+                    .ok_or(VmError::RestoreProtocol("ReadCapturedPc without session"))?;
+                let (_, cap_pc) = session
+                    .frames
+                    .get(session.cursor)
+                    .ok_or(VmError::RestoreProtocol("restore cursor out of range"))?;
+                push!(Value::Int(*cap_pc as i64));
+                advance!()
+            }
+            BringObjLocal(slot) => {
+                let f = self.threads[tid].top().unwrap();
+                let cur = *f
+                    .locals
+                    .get(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))?;
+                match cur {
+                    // Another fault already repaired this slot; retry.
+                    Value::Ref(_) => advance!(),
+                    Value::NulledRef(home) => self.park_fault(
+                        tid,
+                        ObjectQuery { home_id: home },
+                        FaultBind::Local { slot },
+                    ),
+                    // The null was computed by the guest: a genuine
+                    // application NPE, not an object miss.
+                    _ => self.app_npe(tid),
+                }
+            }
+            BringObjField(base_slot, fidx) => {
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let f = self.threads[tid].top().unwrap();
+                let base = *f
+                    .locals
+                    .get(base_slot as usize)
+                    .ok_or(VmError::BadLocalSlot(base_slot))?;
+                let Value::Ref(base_id) = base else {
+                    // Base itself is null: handler chains fix the base first;
+                    // reaching here means the handler chain is malformed.
+                    return Err(VmError::RestoreProtocol("BringObjField on null base"));
+                };
+                let obj = self.heap.get(base_id)?;
+                let class = obj.class_name().to_owned();
+                let target_ci = self
+                    .class_idx(&class)
+                    .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
+                let field_idx = self.classes[target_ci]
+                    .instance_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class,
+                        field: fname.clone(),
+                    })?;
+                let current = match &self.heap.get(base_id)?.kind {
+                    ObjKind::Obj { fields, .. } => fields[field_idx],
+                    _ => return Err(VmError::BadRef(base_id)),
+                };
+                match current {
+                    Value::Ref(_) => advance!(),
+                    Value::NulledRef(home) => self.park_fault(
+                        tid,
+                        ObjectQuery { home_id: home },
+                        FaultBind::Field {
+                            base: base_id,
+                            field_idx,
+                        },
+                    ),
+                    _ => self.app_npe(tid),
+                }
+            }
+            BringObjStaticTo(cidx, fidx, dest) => {
+                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
+                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                let target_ci = self
+                    .class_idx(&cname)
+                    .ok_or_else(|| VmError::ClassNotFound(cname.clone()))?;
+                let static_idx = self.classes[target_ci]
+                    .static_field_idx(&fname)
+                    .ok_or_else(|| VmError::FieldNotFound {
+                        class: cname.clone(),
+                        field: fname.clone(),
+                    })?;
+                match self.classes[target_ci].statics[static_idx] {
+                    Value::Ref(_) => advance!(),
+                    Value::NulledRef(home) => self.park_fault(
+                        tid,
+                        ObjectQuery { home_id: home },
+                        FaultBind::StaticTo {
+                            class_idx: target_ci,
+                            static_idx,
+                            dest_slot: dest,
+                        },
+                    ),
+                    _ => self.app_npe(tid),
+                }
+            }
+            BringObjElemTo(base_slot, idx_slot, dest) => {
+                let f = self.threads[tid].top().unwrap();
+                let base = *f
+                    .locals
+                    .get(base_slot as usize)
+                    .ok_or(VmError::BadLocalSlot(base_slot))?;
+                let idx = f
+                    .locals
+                    .get(idx_slot as usize)
+                    .ok_or(VmError::BadLocalSlot(idx_slot))?
+                    .as_int()?;
+                let Value::Ref(base_id) = base else {
+                    return Err(VmError::RestoreProtocol("BringObjElemTo on null base"));
+                };
+                match self.heap.arr_get(base_id, idx)? {
+                    Some(Value::Ref(_)) => advance!(),
+                    Some(Value::NulledRef(home)) => self.park_fault(
+                        tid,
+                        ObjectQuery { home_id: home },
+                        FaultBind::ElemTo {
+                            base: base_id,
+                            index: idx,
+                            dest_slot: dest,
+                        },
+                    ),
+                    Some(_) => self.app_npe(tid),
+                    None => self.throw_and_outcome(
+                        tid,
+                        ExKind::ArrayBounds,
+                        &format!("index {idx} out of bounds"),
+                    ),
+                }
+            }
+            RethrowAppNpe => self.app_npe(tid),
+            CheckStatus(depth) => {
+                let f = self.threads[tid].top().unwrap();
+                let n = f.ostack.len();
+                let pos = n
+                    .checked_sub(1 + depth as usize)
+                    .ok_or(VmError::StackUnderflow)?;
+                let v = f.ostack[pos];
+                if let Value::Ref(id) = v {
+                    let obj = self.heap.get(id)?;
+                    if obj.status == crate::heap::ObjStatus::Invalid {
+                        let home = obj.home_id.ok_or(VmError::BadRef(id))?;
+                        return self.park_fault(
+                            tid,
+                            ObjectQuery { home_id: home },
+                            FaultBind::Stub,
+                        );
+                    }
+                }
+                advance!()
+            }
+            RestoreLocal(slot) => {
+                let session = self
+                    .restore_session
+                    .as_ref()
+                    .ok_or(VmError::RestoreProtocol("RestoreLocal without session"))?;
+                let (locals, _) = session
+                    .frames
+                    .get(session.cursor)
+                    .ok_or(VmError::RestoreProtocol("restore cursor out of range"))?;
+                let cap = *locals
+                    .get(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))?;
+                let f = frame!();
+                *f
+                    .locals
+                    .get_mut(slot as usize)
+                    .ok_or(VmError::BadLocalSlot(slot))? = cap.to_nulled_value();
+                advance!()
+            }
+            Nop => advance!(),
+        }
+    }
+
+    fn park_fault(
+        &mut self,
+        tid: usize,
+        query: ObjectQuery,
+        bind: FaultBind,
+    ) -> VmResult<StepOutcome> {
+        // A cached copy of the home object (e.g. installed by a prefetch)
+        // satisfies the fault locally — no round trip.
+        if !matches!(bind, FaultBind::Stub) {
+            if let Some(local) = self.heap.find_cached(query.home_id) {
+                self.apply_bind(tid, bind, local)?;
+                let f = self.threads[tid].top_mut().ok_or(VmError::BadThread(tid))?;
+                f.pc += 1;
+                return Ok(StepOutcome::Continue);
+            }
+        }
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::Parked(ParkReason::ObjectFault(query));
+        t.pending_fault = Some(PendingFault { query, bind });
+        Ok(StepOutcome::ObjectFault(query))
+    }
+
+    fn park_class_miss(&mut self, tid: usize, name: String) -> VmResult<StepOutcome> {
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::Parked(ParkReason::ClassMiss(name.clone()));
+        Ok(StepOutcome::ClassMiss(name))
+    }
+
+    fn push_callee_frame(
+        &mut self,
+        tid: usize,
+        target_ci: usize,
+        target_mi: usize,
+        nargs: u8,
+    ) -> VmResult<StepOutcome> {
+        let m = &self.classes[target_ci].def.methods[target_mi];
+        debug_assert_eq!(m.nargs as usize, nargs as usize, "arity mismatch");
+        let nlocals = m.nlocals;
+        let mut callee = Frame::new(target_ci, target_mi, nlocals);
+        {
+            let caller = self.threads[tid].top_mut().unwrap();
+            let n = caller.ostack.len();
+            if n < nargs as usize {
+                return Err(VmError::StackUnderflow);
+            }
+            let args = caller.ostack.split_off(n - nargs as usize);
+            callee.locals[..args.len()].copy_from_slice(&args);
+        }
+        let t = &mut self.threads[tid];
+        t.frames.push(callee);
+        t.max_height = t.max_height.max(t.frames.len());
+        Ok(StepOutcome::Continue)
+    }
+
+    /// Pop the top frame, delivering `retval` to the caller (or finishing
+    /// the thread). The caller's pc — parked at its Invoke — advances.
+    fn pop_frame(&mut self, tid: usize, retval: Option<Value>) -> VmResult<StepOutcome> {
+        let t = &mut self.threads[tid];
+        let popped = t.frames.pop().expect("frame to pop");
+        if t.seg_frames > t.frames.len() {
+            t.seg_frames = t.frames.len();
+        }
+        match t.frames.last_mut() {
+            Some(caller) => {
+                caller.pc += 1;
+                if let Some(v) = retval {
+                    caller.ostack.push(v);
+                }
+                drop(popped);
+                Ok(StepOutcome::Continue)
+            }
+            None => {
+                t.state = ThreadState::Finished(retval);
+                Ok(StepOutcome::Returned(retval))
+            }
+        }
+    }
+
+    /// First pc of the source line containing `pc` in the given method —
+    /// the statement start. Exception-driven offload rolls a faulted frame
+    /// back here before capturing (rearranged statements are single-effect,
+    /// so re-executing from the line start is safe).
+    pub fn line_start_pc(&self, class_idx: usize, method_idx: usize, pc: u32) -> u32 {
+        let m = &self.classes[class_idx].def.methods[method_idx];
+        let line = m.line_of(pc);
+        let mut start = pc;
+        while start > 0 && m.line_of(start - 1) == line {
+            start -= 1;
+        }
+        start
+    }
+
+    /// The paper's `ForceEarlyReturn<type>`: pop the top frame of a
+    /// *suspended* thread, delivering `retval` to the caller as if the
+    /// method had returned. Used by the home node when a migrated segment
+    /// completes remotely.
+    pub fn force_early_return(&mut self, tid: usize, retval: Option<Value>) -> VmResult<()> {
+        let t = self.thread_mut(tid)?;
+        if t.frames.is_empty() {
+            return Err(VmError::BadThread(tid));
+        }
+        t.frames.pop();
+        if t.seg_frames > t.frames.len() {
+            t.seg_frames = t.frames.len();
+        }
+        match t.frames.last_mut() {
+            Some(caller) => {
+                caller.pc += 1;
+                if let Some(v) = retval {
+                    caller.ostack.push(v);
+                }
+                t.state = ThreadState::Runnable;
+            }
+            None => {
+                t.state = ThreadState::Finished(retval);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Small helper so `Finished(None)`/`Finished(Some(v))` both map cleanly.
+trait FlattenUnit {
+    fn flatten_unit(self) -> Option<Value>;
+}
+
+impl FlattenUnit for Option<Value> {
+    fn flatten_unit(self) -> Option<Value> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDef, ExEntry, FieldDef, MethodDef};
+    use crate::instr::Cmp;
+    use crate::value::TypeOf;
+
+    fn vm_with(classes: &[ClassDef]) -> Vm {
+        let mut vm = Vm::new();
+        for c in classes {
+            vm.load_class(c).unwrap();
+        }
+        vm
+    }
+
+    fn main_class(code: Vec<Instr>, lines: Vec<u32>, extra_locals: u16) -> ClassDef {
+        ClassDef::new("Main").with_method(MethodDef::new("main", 0, extra_locals).with_code(code, lines))
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let c = main_class(
+            vec![
+                Instr::PushI(6),
+                Instr::PushI(7),
+                Instr::Mul,
+                Instr::RetV,
+            ],
+            vec![1, 1, 1, 1],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(42)));
+        assert!(vm.meter_ns > 0);
+        assert_eq!(vm.instr_count, 4);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let c = main_class(
+            vec![
+                Instr::PushF(1.5),
+                Instr::PushF(2.5),
+                Instr::Add,
+                Instr::PushI(2),
+                Instr::I2F,
+                Instr::Mul,
+                Instr::RetV,
+            ],
+            vec![1; 7],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Num(8.0)));
+    }
+
+    #[test]
+    fn locals_and_branches_loop() {
+        // sum 1..=5 via loop
+        // l0: i, l1: sum
+        let c = main_class(
+            vec![
+                Instr::PushI(1),
+                Instr::Store(0), // i = 1
+                Instr::PushI(0),
+                Instr::Store(1), // sum = 0
+                // loop:
+                Instr::Load(0),
+                Instr::PushI(5),
+                Instr::If(Cmp::Gt, 13), // if i > 5 goto end
+                Instr::Load(1),
+                Instr::Load(0),
+                Instr::Add,
+                Instr::Store(1), // sum += i
+                Instr::Load(0),
+                Instr::PushI(1),
+                // ^ careful: pc13 must be end; recount below
+                Instr::Add,
+                Instr::Store(0),
+                Instr::Goto(4),
+                // end:
+                Instr::Load(1),
+                Instr::RetV,
+            ],
+            vec![1, 1, 2, 2, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 5, 6, 6],
+            2,
+        );
+        // Fix the branch target: end is at index 16.
+        let mut c = c;
+        c.methods[0].code[6] = Instr::If(Cmp::Gt, 16);
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(15)));
+    }
+
+    #[test]
+    fn static_and_virtual_calls() {
+        // Helper.twice(x) = x*2 ; Main.main() = twice(10) + obj.one()
+        let mut helper = ClassDef::new("Helper");
+        helper.methods.push(
+            MethodDef::new("twice", 1, 0).with_code(
+                vec![Instr::Load(0), Instr::PushI(2), Instr::Mul, Instr::RetV],
+                vec![1; 4],
+            ),
+        );
+        helper.methods.push(
+            MethodDef::new("one", 1, 0) // virtual: receiver in slot 0
+                .with_code(vec![Instr::PushI(1), Instr::RetV], vec![1, 1]),
+        );
+        let mut main = ClassDef::new("Main");
+        let h = main.intern("Helper");
+        let tw = main.intern("twice");
+        let one = main.intern("one");
+        main.methods.push(
+            MethodDef::new("main", 0, 0).with_code(
+                vec![
+                    Instr::PushI(10),
+                    Instr::InvokeStatic(h, tw, 1),
+                    Instr::New(h),
+                    Instr::InvokeVirtual(one, 1),
+                    Instr::Add,
+                    Instr::RetV,
+                ],
+                vec![1; 6],
+            ),
+        );
+        let mut vm = vm_with(&[helper, main]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(21)));
+    }
+
+    #[test]
+    fn fields_and_objects() {
+        let mut point = ClassDef::new("Point")
+            .with_field(FieldDef::instance("x", TypeOf::Int))
+            .with_field(FieldDef::instance("y", TypeOf::Int));
+        let getx = point.intern("x");
+        point.methods.push(MethodDef::new("getX", 1, 0).with_code(
+            vec![Instr::Load(0), Instr::GetField(getx), Instr::RetV],
+            vec![1; 3],
+        ));
+        let mut main = ClassDef::new("Main");
+        let p = main.intern("Point");
+        let x = main.intern("x");
+        let getx_m = main.intern("getX");
+        main.methods.push(MethodDef::new("main", 0, 1).with_code(
+            vec![
+                Instr::New(p),
+                Instr::Store(0),
+                Instr::Load(0),
+                Instr::PushI(5),
+                Instr::PutField(x),
+                Instr::Load(0),
+                Instr::InvokeVirtual(getx_m, 1),
+                Instr::RetV,
+            ],
+            vec![1, 1, 2, 2, 2, 3, 3, 3],
+        ));
+        let mut vm = vm_with(&[point, main]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn statics_roundtrip() {
+        let mut c = ClassDef::new("Main").with_field(FieldDef::stat("counter", TypeOf::Int));
+        let main_n = c.intern("Main");
+        let counter = c.intern("counter");
+        c.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![
+                Instr::PushI(3),
+                Instr::PutStatic(main_n, counter),
+                Instr::GetStatic(main_n, counter),
+                Instr::PushI(4),
+                Instr::Add,
+                Instr::RetV,
+            ],
+            vec![1, 1, 2, 2, 2, 2],
+        ));
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn arrays() {
+        let c = main_class(
+            vec![
+                Instr::PushI(3),
+                Instr::NewArr,
+                Instr::Store(0),
+                Instr::Load(0),
+                Instr::PushI(1),
+                Instr::PushI(99),
+                Instr::AStore,
+                Instr::Load(0),
+                Instr::PushI(1),
+                Instr::ALoad,
+                Instr::Load(0),
+                Instr::ArrLen,
+                Instr::Add,
+                Instr::RetV,
+            ],
+            vec![1; 14],
+            1,
+        );
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(102)));
+    }
+
+    #[test]
+    fn exception_caught_by_table() {
+        // Divide by zero, caught; handler returns 7.
+        let m = MethodDef::new("main", 0, 0)
+            .with_code(
+                vec![
+                    Instr::PushI(1), // 0 line 1
+                    Instr::PushI(0),
+                    Instr::Div,
+                    Instr::RetV,
+                    Instr::Pop, // 4: handler, line 2
+                    Instr::PushI(7),
+                    Instr::RetV,
+                ],
+                vec![1, 1, 1, 1, 2, 2, 2],
+            )
+            .with_ex_table(vec![ExEntry::new(0, 4, 4, ExKind::DivByZero)]);
+        let c = ClassDef::new("Main").with_method(m);
+        let mut vm = vm_with(&[c]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn exception_unwinds_frames() {
+        // Main calls Thrower.boom() which divides by zero; Main catches it.
+        let thrower = ClassDef::new("Thrower").with_method(
+            MethodDef::new("boom", 0, 0).with_code(
+                vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::RetV],
+                vec![1; 4],
+            ),
+        );
+        let mut main = ClassDef::new("Main");
+        let t = main.intern("Thrower");
+        let b = main.intern("boom");
+        main.methods.push(
+            MethodDef::new("main", 0, 0)
+                .with_code(
+                    vec![
+                        Instr::InvokeStatic(t, b, 0), // 0 line 1
+                        Instr::RetV,                  // 1
+                        Instr::Pop,                   // 2 handler line 2
+                        Instr::PushI(55),
+                        Instr::RetV,
+                    ],
+                    vec![1, 1, 2, 2, 2],
+                )
+                .with_ex_table(vec![ExEntry::new(0, 2, 2, ExKind::DivByZero)]),
+        );
+        let mut vm = vm_with(&[thrower, main]);
+        let r = vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(55)));
+    }
+
+    #[test]
+    fn unhandled_exception_preserves_frames() {
+        let c = main_class(
+            vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::RetV],
+            vec![1; 4],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        match out {
+            StepOutcome::Unhandled(e) => assert_eq!(e.kind, ExKind::DivByZero),
+            other => panic!("expected Unhandled, got {other:?}"),
+        }
+        // Frames are preserved for policy inspection.
+        assert_eq!(vm.thread(tid).unwrap().frames.len(), 1);
+    }
+
+    #[test]
+    fn null_deref_raises_guest_npe() {
+        let c = main_class(
+            vec![Instr::PushNull, Instr::ArrLen, Instr::RetV],
+            vec![1; 3],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert!(matches!(
+            out,
+            StepOutcome::Unhandled(ExceptionInfo {
+                kind: ExKind::NullPointer,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn host_call_parks_and_resumes() {
+        let mut c = ClassDef::new("Main");
+        let fs = c.intern("fs_size");
+        let path = c.intern("/data/file");
+        c.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![
+                Instr::PushStr(path),
+                Instr::NativeCall(fs, 1),
+                Instr::RetV,
+            ],
+            vec![1; 3],
+        ));
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        match out {
+            StepOutcome::HostCall { name, args } => {
+                assert_eq!(name, "fs_size");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected HostCall, got {other:?}"),
+        }
+        vm.resume_host(tid, Value::Int(4096)).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Returned(Some(Value::Int(4096))));
+    }
+
+    #[test]
+    fn class_miss_parks_until_loaded() {
+        let mut main = ClassDef::new("Main");
+        let lazy = main.intern("Lazy");
+        let get = main.intern("get");
+        main.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![Instr::InvokeStatic(lazy, get, 0), Instr::RetV],
+            vec![1, 1],
+        ));
+        let mut vm = vm_with(&[main]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::ClassMiss("Lazy".to_owned()));
+        // Load the class and resume: instruction re-executes.
+        let lazy_def = ClassDef::new("Lazy").with_method(
+            MethodDef::new("get", 0, 0)
+                .with_code(vec![Instr::PushI(9), Instr::RetV], vec![1, 1]),
+        );
+        vm.load_class(&lazy_def).unwrap();
+        vm.resume_class_loaded(tid).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Returned(Some(Value::Int(9))));
+    }
+
+    #[test]
+    fn breakpoint_hits_once() {
+        let c = main_class(
+            vec![Instr::PushI(1), Instr::RetV],
+            vec![1, 1],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        vm.set_breakpoint(0, 0, 0);
+        let out = vm.step(tid).unwrap();
+        assert!(matches!(out, StepOutcome::Breakpoint { pc: 0, .. }));
+        // Disarmed: next step executes normally.
+        let out = vm.step(tid).unwrap();
+        assert_eq!(out, StepOutcome::Continue);
+    }
+
+    #[test]
+    fn run_budget_slices_execution() {
+        // An infinite loop only consumes its budget per slice.
+        let c = main_class(vec![Instr::Goto(0)], vec![1], 0);
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, spent) = vm.run(tid, 1000, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Continue);
+        assert!(spent >= 1000);
+        assert!(spent < 2000);
+    }
+
+    #[test]
+    fn stop_at_msp() {
+        // line 1: two instrs; line 2 starts at pc 2 with empty stack.
+        let c = main_class(
+            vec![
+                Instr::PushI(1),
+                Instr::Store(0),
+                Instr::PushI(2),
+                Instr::Store(0),
+                Instr::Ret,
+            ],
+            vec![1, 1, 2, 2, 3],
+            1,
+        );
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        // First stop: pc 0 is itself an MSP.
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::StopAtMsp).unwrap();
+        assert_eq!(out, StepOutcome::AtMsp { pc: 0 });
+        vm.step(tid).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::StopAtMsp).unwrap();
+        assert_eq!(out, StepOutcome::AtMsp { pc: 2 });
+    }
+
+    #[test]
+    fn force_early_return_pops_and_delivers() {
+        // main calls callee; we force-early-return the callee with 123.
+        let callee = ClassDef::new("Callee").with_method(
+            MethodDef::new("work", 0, 0).with_code(
+                vec![Instr::Goto(0)], // never returns on its own
+                vec![1],
+            ),
+        );
+        let mut main = ClassDef::new("Main");
+        let cal = main.intern("Callee");
+        let work = main.intern("work");
+        main.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![Instr::InvokeStatic(cal, work, 0), Instr::RetV],
+            vec![1, 1],
+        ));
+        let mut vm = vm_with(&[callee, main]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        // Run a little: enters the callee loop.
+        let (out, _) = vm.run(tid, 100, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Continue);
+        assert_eq!(vm.thread(tid).unwrap().frames.len(), 2);
+        vm.force_early_return(tid, Some(Value::Int(123))).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Returned(Some(Value::Int(123))));
+    }
+
+    #[test]
+    fn interp_mode_charges_more() {
+        let code = vec![Instr::PushI(1), Instr::PushI(2), Instr::Add, Instr::RetV];
+        let c = main_class(code.clone(), vec![1; 4], 0);
+        let mut vm1 = vm_with(&[c.clone()]);
+        vm1.run_to_completion("Main", "main", &[]).unwrap();
+        let mut vm2 = vm_with(&[c]);
+        vm2.interp_mode = true;
+        vm2.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(vm2.meter_ns, vm1.meter_ns * u64::from(INTERP_MODE_FACTOR));
+    }
+
+    #[test]
+    fn cost_scale_applies() {
+        let c = main_class(vec![Instr::PushI(1), Instr::RetV], vec![1, 1], 0);
+        let mut vm1 = vm_with(&[c.clone()]);
+        vm1.run_to_completion("Main", "main", &[]).unwrap();
+        let mut vm2 = vm_with(&[c]);
+        vm2.cost_scale_per_mille = 2000;
+        vm2.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(vm2.meter_ns, vm1.meter_ns * 2);
+    }
+
+    #[test]
+    fn mem_limit_raises_oom() {
+        let c = main_class(
+            vec![Instr::PushI(1_000_000), Instr::NewArr, Instr::RetV],
+            vec![1; 3],
+            0,
+        );
+        let mut vm = vm_with(&[c]);
+        vm.mem_limit = Some(1024);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert!(matches!(
+            out,
+            StepOutcome::Unhandled(ExceptionInfo {
+                kind: ExKind::OutOfMemory,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn max_height_tracked() {
+        // Recursion depth 5: f(n) = n==0 ? 0 : f(n-1)
+        let mut c = ClassDef::new("Main");
+        let main_n = c.intern("Main");
+        let f = c.intern("f");
+        c.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![Instr::PushI(5), Instr::InvokeStatic(main_n, f, 1), Instr::RetV],
+            vec![1; 3],
+        ));
+        c.methods.push(MethodDef::new("f", 1, 0).with_code(
+            vec![
+                Instr::Load(0),          // 0
+                Instr::IfZ(Cmp::Ne, 3),  // 1: if n != 0 goto 3
+                Instr::Goto(8),          // 2  -> return 0 path
+                Instr::Load(0),          // 3
+                Instr::PushI(1),         // 4
+                Instr::Sub,              // 5
+                Instr::InvokeStatic(main_n, f, 1), // 6
+                Instr::RetV,             // 7
+                Instr::PushI(0),         // 8
+                Instr::RetV,             // 9
+            ],
+            vec![1, 1, 1, 2, 2, 2, 2, 2, 3, 3],
+        ));
+        let mut vm = vm_with(&[c]);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(vm.thread(tid).unwrap().max_height, 7); // main + f(5..0)
+    }
+
+    #[test]
+    fn print_collects_stdout() {
+        let mut c = ClassDef::new("Main");
+        let pr = c.intern("print");
+        let msg = c.intern("hello");
+        c.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![
+                Instr::PushStr(msg),
+                Instr::NativeCall(pr, 1),
+                Instr::Pop,
+                Instr::PushI(0),
+                Instr::RetV,
+            ],
+            vec![1; 5],
+        ));
+        let mut vm = vm_with(&[c]);
+        vm.run_to_completion("Main", "main", &[]).unwrap();
+        assert_eq!(vm.stdout, vec!["hello".to_owned()]);
+    }
+
+    #[test]
+    fn string_interning_dedups() {
+        let mut vm = Vm::new();
+        let a = vm.intern_str("x");
+        let b = vm.intern_str("x");
+        let c = vm.intern_str("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spawn_arity_checked() {
+        let c = main_class(vec![Instr::Ret], vec![1], 0);
+        let mut vm = vm_with(&[c]);
+        assert!(vm.spawn("Main", "main", &[Value::Int(1)]).is_err());
+        assert!(vm.spawn("Nope", "main", &[]).is_err());
+        assert!(vm.spawn("Main", "nope", &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let c = main_class(vec![Instr::Ret], vec![1], 0);
+        let mut vm = vm_with(&[c.clone()]);
+        assert!(matches!(
+            vm.load_class(&c),
+            Err(VmError::DuplicateClass(_))
+        ));
+    }
+}

@@ -1,0 +1,540 @@
+//! The four Table I benchmarks, authored in sod-vm bytecode.
+
+use sod_asm::builder::ClassBuilder;
+use sod_vm::class::ClassDef;
+use sod_vm::instr::Cmp;
+use sod_vm::value::{TypeOf, Value};
+
+/// One benchmark program: class + entry + default scaled problem size.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    /// Paper's problem size (Table I).
+    pub paper_n: i64,
+    /// Scaled size used here (documented in EXPERIMENTS.md).
+    pub n: i64,
+    pub build: fn() -> ClassDef,
+    pub class: &'static str,
+    pub method: &'static str,
+}
+
+/// The Table I benchmark set.
+pub const WORKLOADS: [Workload; 4] = [
+    Workload {
+        name: "Fib",
+        paper_n: 46,
+        n: 27,
+        build: fib_class,
+        class: "Fib",
+        method: "main",
+    },
+    Workload {
+        name: "NQ",
+        paper_n: 14,
+        n: 9,
+        build: nqueens_class,
+        class: "NQ",
+        method: "main",
+    },
+    Workload {
+        name: "FFT",
+        paper_n: 256,
+        n: 64,
+        build: fft_class,
+        class: "FFT",
+        method: "main",
+    },
+    Workload {
+        name: "TSP",
+        paper_n: 12,
+        n: 10,
+        build: tsp_class,
+        class: "TSP",
+        method: "main",
+    },
+];
+
+impl Workload {
+    /// Entry arguments for the scaled size.
+    pub fn args(&self) -> Vec<Value> {
+        vec![Value::Int(self.n)]
+    }
+}
+
+/// Recursive Fibonacci: `fib(n)` recursion depth n (Table I: h = 46).
+pub fn fib_class() -> ClassDef {
+    ClassBuilder::new("Fib")
+        .method("fib", &["n"], |m| {
+            m.line();
+            m.load("n").pushi(2).if_cmp(Cmp::Lt, "base");
+            m.line();
+            m.load("n").pushi(1).sub().invoke("Fib", "fib", 1).store("a");
+            m.line();
+            m.load("n").pushi(2).sub().invoke("Fib", "fib", 1).store("b");
+            m.line();
+            m.load("a").load("b").add().retv();
+            m.line();
+            m.label("base");
+            m.load("n").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Fib", "fib", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .expect("fib verifies")
+}
+
+/// N-queens: counts solutions with a column/diagonal bitmask recursion.
+pub fn nqueens_class() -> ClassDef {
+    ClassBuilder::new("NQ")
+        // solve(row, cols, diag1, diag2, n) -> count
+        .method("solve", &["row", "cols", "d1", "d2", "n"], |m| {
+            m.line();
+            m.load("row").load("n").if_cmp(Cmp::Lt, "go");
+            m.line();
+            m.pushi(1).retv();
+            m.line();
+            m.label("go");
+            m.pushi(0).store("count");
+            m.pushi(0).store("c");
+            m.line();
+            m.label("loop");
+            m.load("c").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            // bit = 1 << c
+            m.pushi(1).load("c").shl().store("bit");
+            m.line();
+            // if (cols|d1|d2) & bit != 0 -> skip
+            m.load("cols")
+                .load("d1")
+                .bor()
+                .load("d2")
+                .bor()
+                .load("bit")
+                .band()
+                .ifz(Cmp::Ne, "skip");
+            m.line();
+            m.load("row").pushi(1).add().store("nrow");
+            m.line();
+            m.load("cols").load("bit").bor().store("ncols");
+            m.line();
+            m.load("d1").load("bit").bor().pushi(1).shl().store("nd1");
+            m.line();
+            m.load("d2").load("bit").bor().pushi(1).shr().store("nd2");
+            m.line();
+            m.load("nrow")
+                .load("ncols")
+                .load("nd1")
+                .load("nd2")
+                .load("n")
+                .invoke("NQ", "solve", 5)
+                .store("sub");
+            m.line();
+            m.load("count").load("sub").add().store("count");
+            m.line();
+            m.label("skip");
+            m.load("c").pushi(1).add().store("c").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("count").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.pushi(0)
+                .pushi(0)
+                .pushi(0)
+                .pushi(0)
+                .load("n")
+                .invoke("NQ", "solve", 5)
+                .store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .expect("nqueens verifies")
+}
+
+/// 2-D FFT over `n × n` static arrays (real/imag), iterative
+/// Cooley–Tukey per row then per column. Returns a checksum.
+///
+/// The static arrays are the paper's "> 64 MB of static fields" (scaled);
+/// they are what makes eager-copy process migration and class-load-time
+/// static allocation expensive (Tables III/IV).
+pub fn fft_class() -> ClassDef {
+    ClassBuilder::new("FFT")
+        .static_field("re", TypeOf::Ref)
+        .static_field("im", TypeOf::Ref)
+        .static_field("ballast", TypeOf::Ref)
+        .static_field("n", TypeOf::Int)
+        // init(n): allocate and fill the n*n grids
+        .method("init", &["n"], |m| {
+            m.line();
+            m.load("n").putstatic("FFT", "n");
+            m.line();
+            m.load("n").load("n").mul().store("nn");
+            m.line();
+            m.load("nn").newarr().putstatic("FFT", "re");
+            m.line();
+            m.load("nn").newarr().putstatic("FFT", "im");
+            m.line();
+            // The paper's FFT carries > 64 MB of static data; the grids
+            // above are small at scaled sizes, so a ballast static array
+            // supplies the bulk (n² × 1000 slots: 32 MB at n = 64).
+            m.load("nn").pushi(1000).mul().newarr().putstatic("FFT", "ballast");
+            m.line();
+            m.getstatic("FFT", "re").store("r");
+            m.line();
+            m.getstatic("FFT", "im").store("s");
+            m.line();
+            m.pushi(0).store("i");
+            m.line();
+            m.label("fill");
+            m.load("i").load("nn").if_cmp(Cmp::Ge, "done");
+            m.line();
+            // re[i] = (i % 13) - 6 as f64
+            m.load("r").load("i");
+            m.load("i").pushi(13).rem().pushi(6).sub().i2f();
+            m.astore();
+            m.line();
+            // im[i] = 0.0
+            m.load("s").load("i").pushf(0.0).astore();
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("fill");
+            m.line();
+            m.label("done");
+            m.pushi(0).retv();
+        })
+        // butterfly pass over one row segment [base, base+len) with given
+        // stride 1 — an iterative radix-2 DIT stage driver.
+        .method("fft1d", &["base"], |m| {
+            // Bit-reversal permutation then butterflies, operating on the
+            // static arrays in place.
+            m.line();
+            m.getstatic("FFT", "n").store("n");
+            m.line();
+            m.getstatic("FFT", "re").store("re");
+            m.line();
+            m.getstatic("FFT", "im").store("im");
+            // bit reverse
+            m.line();
+            m.pushi(0).store("j");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("brloop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "brdone");
+            m.line();
+            m.load("i").load("j").if_cmp(Cmp::Ge, "noswap");
+            m.line();
+            // swap re[base+i] <-> re[base+j]; same for im
+            m.load("base").load("i").add().store("ai");
+            m.line();
+            m.load("base").load("j").add().store("aj");
+            m.line();
+            m.load("re").load("ai").aload().store("t");
+            m.line();
+            m.load("re").load("ai");
+            m.load("re").load("aj").aload();
+            m.astore();
+            m.line();
+            m.load("re").load("aj").load("t").astore();
+            m.line();
+            m.load("im").load("ai").aload().store("t");
+            m.line();
+            m.load("im").load("ai");
+            m.load("im").load("aj").aload();
+            m.astore();
+            m.line();
+            m.load("im").load("aj").load("t").astore();
+            m.line();
+            m.label("noswap");
+            // j update: k = n >> 1; while k <= j { j -= k; k >>= 1 } ; j += k
+            m.load("n").pushi(1).shr().store("k");
+            m.line();
+            m.label("jloop");
+            m.load("k").pushi(0).if_cmp(Cmp::Le, "jdone");
+            m.load("k").load("j").if_cmp(Cmp::Gt, "jdone");
+            m.line();
+            m.load("j").load("k").sub().store("j");
+            m.load("k").pushi(1).shr().store("k");
+            m.goto("jloop");
+            m.line();
+            m.label("jdone");
+            m.load("j").load("k").add().store("j");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("brloop");
+            m.line();
+            m.label("brdone");
+            // butterflies: len = 2; while len <= n
+            m.pushi(2).store("len");
+            m.line();
+            m.label("lenloop");
+            m.load("len").load("n").if_cmp(Cmp::Gt, "fftdone");
+            m.line();
+            // ang = -2*pi/len
+            m.pushf(-6.283185307179586).load("len").i2f().div().store("ang");
+            m.line();
+            m.pushi(0).store("i");
+            m.line();
+            m.label("iloop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "inext_done");
+            m.line();
+            m.pushi(0).store("q");
+            m.line();
+            m.label("qloop");
+            m.load("q").load("len").pushi(1).shr().if_cmp(Cmp::Ge, "qdone");
+            m.line();
+            // w = exp(i*ang*q)
+            m.load("ang").load("q").i2f().mul().store("phi");
+            m.line();
+            m.load("phi").native("cos", 1).store("wr");
+            m.line();
+            m.load("phi").native("sin", 1).store("wi");
+            m.line();
+            // u = a[base+i+q]; v = a[base+i+q+len/2] * w
+            m.load("base").load("i").add().load("q").add().store("p0");
+            m.line();
+            m.load("p0").load("len").pushi(1).shr().add().store("p1");
+            m.line();
+            m.load("re").load("p0").aload().store("ur");
+            m.line();
+            m.load("im").load("p0").aload().store("ui");
+            m.line();
+            m.load("re").load("p1").aload().store("xr");
+            m.line();
+            m.load("im").load("p1").aload().store("xi");
+            m.line();
+            // vr = xr*wr - xi*wi ; vi = xr*wi + xi*wr
+            m.load("xr").load("wr").mul().load("xi").load("wi").mul().sub().store("vr");
+            m.line();
+            m.load("xr").load("wi").mul().load("xi").load("wr").mul().add().store("vi");
+            m.line();
+            m.load("re").load("p0");
+            m.load("ur").load("vr").add();
+            m.astore();
+            m.line();
+            m.load("im").load("p0");
+            m.load("ui").load("vi").add();
+            m.astore();
+            m.line();
+            m.load("re").load("p1");
+            m.load("ur").load("vr").sub();
+            m.astore();
+            m.line();
+            m.load("im").load("p1");
+            m.load("ui").load("vi").sub();
+            m.astore();
+            m.line();
+            m.load("q").pushi(1).add().store("q").goto("qloop");
+            m.line();
+            m.label("qdone");
+            m.load("i").load("len").add().store("i").goto("iloop");
+            m.line();
+            m.label("inext_done");
+            m.load("len").pushi(1).shl().store("len").goto("lenloop");
+            m.line();
+            m.label("fftdone");
+            m.pushi(0).retv();
+        })
+        // main(n): init, FFT each row, checksum
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("FFT", "init", 1).pop();
+            m.line();
+            m.pushi(0).store("row");
+            m.line();
+            m.label("rows");
+            m.load("row").load("n").if_cmp(Cmp::Ge, "sum");
+            m.line();
+            m.load("row").load("n").mul().invoke("FFT", "fft1d", 1).pop();
+            m.line();
+            m.load("row").pushi(1).add().store("row").goto("rows");
+            m.line();
+            m.label("sum");
+            m.getstatic("FFT", "re").store("re");
+            m.line();
+            m.pushf(0.0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.load("n").load("n").mul().store("nn");
+            m.line();
+            m.label("sloop");
+            m.load("i").load("nn").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc").load("re").load("i").aload().native("fabs", 1).add().store("acc");
+            m.line();
+            m.load("i").pushi(7).add().store("i").goto("sloop");
+            m.line();
+            m.label("done");
+            m.load("acc").f2i().retv();
+        })
+        .build()
+        .expect("fft verifies")
+}
+
+/// TSP branch-and-bound over a deterministic distance matrix; returns the
+/// best tour cost. Distances live in a static array touched on every
+/// recursion step — the paper's "almost all object fields need be used
+/// frequently" workload where eager copy beats on-demand faulting.
+pub fn tsp_class() -> ClassDef {
+    ClassBuilder::new("TSP")
+        .static_field("dist", TypeOf::Ref)
+        .static_field("best", TypeOf::Int)
+        .static_field("n", TypeOf::Int)
+        .method("init", &["n"], |m| {
+            m.line();
+            m.load("n").putstatic("TSP", "n");
+            m.line();
+            m.pushi(1000000).putstatic("TSP", "best");
+            m.line();
+            m.load("n").load("n").mul().store("nn");
+            m.line();
+            m.load("nn").newarr().putstatic("TSP", "dist");
+            m.line();
+            m.getstatic("TSP", "dist").store("d");
+            m.line();
+            m.pushi(0).store("i");
+            m.line();
+            m.label("fill");
+            m.load("i").load("nn").if_cmp(Cmp::Ge, "done");
+            m.line();
+            // dist[i] = (i*7919 % 97) + 1  (deterministic pseudo-random)
+            m.load("d").load("i");
+            m.load("i").pushi(7919).mul().pushi(97).rem().pushi(1).add();
+            m.astore();
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("fill");
+            m.line();
+            m.label("done");
+            m.pushi(0).retv();
+        })
+        // search(city, visitedMask, cost, depth)
+        .method("search", &["city", "mask", "cost", "depth"], |m| {
+            m.line();
+            m.load("cost").getstatic("TSP", "best").if_cmp(Cmp::Ge, "prune");
+            m.line();
+            m.load("depth").getstatic("TSP", "n").if_cmp(Cmp::Lt, "expand");
+            m.line();
+            // complete tour: best = min(best, cost)
+            m.load("cost").putstatic("TSP", "best");
+            m.line();
+            m.label("prune");
+            m.pushi(0).retv();
+            m.line();
+            m.label("expand");
+            m.getstatic("TSP", "n").store("n");
+            m.line();
+            m.getstatic("TSP", "dist").store("d");
+            m.line();
+            m.pushi(0).store("next");
+            m.line();
+            m.label("loop");
+            m.load("next").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            // if visited: skip
+            m.load("mask").load("next").shr().pushi(1).band().ifz(Cmp::Ne, "skip");
+            m.line();
+            m.load("city").load("n").mul().load("next").add().store("idx");
+            m.line();
+            m.load("d").load("idx").aload().store("step");
+            m.line();
+            m.load("next");
+            m.load("mask").pushi(1).load("next").shl().bor();
+            m.load("cost").load("step").add();
+            m.load("depth").pushi(1).add();
+            m.invoke("TSP", "search", 4).pop();
+            m.line();
+            m.label("skip");
+            m.load("next").pushi(1).add().store("next").goto("loop");
+            m.line();
+            m.label("done");
+            m.pushi(0).retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("TSP", "init", 1).pop();
+            m.line();
+            m.pushi(0).pushi(1).pushi(0).pushi(1).invoke("TSP", "search", 4).pop();
+            m.line();
+            m.getstatic("TSP", "best").retv();
+        })
+        .build()
+        .expect("tsp verifies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod_preprocess::preprocess_sod;
+    use sod_vm::interp::Vm;
+
+    fn run(class: &ClassDef, entry: &str, n: i64) -> i64 {
+        let mut vm = Vm::new();
+        vm.load_class(class).unwrap();
+        match vm
+            .run_to_completion(entry, "main", &[Value::Int(n)])
+            .unwrap()
+        {
+            Some(Value::Int(i)) => i,
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fib_correct() {
+        let c = fib_class();
+        assert_eq!(run(&c, "Fib", 10), 55);
+        assert_eq!(run(&c, "Fib", 15), 610);
+    }
+
+    #[test]
+    fn nqueens_correct() {
+        let c = nqueens_class();
+        assert_eq!(run(&c, "NQ", 4), 2);
+        assert_eq!(run(&c, "NQ", 5), 10);
+        assert_eq!(run(&c, "NQ", 6), 4);
+        assert_eq!(run(&c, "NQ", 7), 40);
+        assert_eq!(run(&c, "NQ", 8), 92);
+    }
+
+    #[test]
+    fn tsp_finds_a_tour() {
+        let c = tsp_class();
+        let best = run(&c, "TSP", 6);
+        assert!(best > 0 && best < 1_000_000, "best={best}");
+        // Deterministic: same result every run.
+        assert_eq!(run(&c, "TSP", 6), best);
+    }
+
+    #[test]
+    fn fft_runs_and_is_deterministic() {
+        let c = fft_class();
+        let a = run(&c, "FFT", 8);
+        let b = run(&c, "FFT", 8);
+        assert_eq!(a, b);
+        assert!(a != 0, "checksum should be nonzero");
+    }
+
+    #[test]
+    fn all_workloads_survive_preprocessing() {
+        for w in &WORKLOADS {
+            let plain = (w.build)();
+            let pre = preprocess_sod(&plain).unwrap();
+            let mut vm1 = Vm::new();
+            vm1.load_class(&plain).unwrap();
+            // FFT needs a power-of-two grid.
+            let small = if w.name == "FFT" { 8 } else { 6.min(w.n) };
+            let r1 = vm1
+                .run_to_completion(w.class, w.method, &[Value::Int(small)])
+                .unwrap();
+            let mut vm2 = Vm::new();
+            vm2.load_class(&pre).unwrap();
+            let r2 = vm2
+                .run_to_completion(w.class, w.method, &[Value::Int(small)])
+                .unwrap();
+            assert_eq!(r1, r2, "{} diverged after preprocessing", w.name);
+        }
+    }
+}

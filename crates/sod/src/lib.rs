@@ -1,0 +1,27 @@
+//! # sod — stack-on-demand elastic execution
+//!
+//! Facade crate re-exporting the full reproduction of *"A Stack-on-Demand
+//! Execution Model for Elastic Computing"* (Ma, Lam, Wang, Zhang — ICPP
+//! 2010):
+//!
+//! * [`vm`] — the stack-machine VM substrate (frames, heap, exceptions,
+//!   JVMTI-like tooling, capture/restore, wire codec);
+//! * [`asm`] — builder and text assembler for authoring guest programs;
+//! * [`preprocess`] — the SOD bytecode preprocessor (migration-safe-point
+//!   rearrangement, object-fault handlers, restoration handlers);
+//! * [`net`] — the deterministic discrete-event cluster simulator;
+//! * [`runtime`] — SODEE: segment migration, object manager, workflows,
+//!   roaming, exception-driven offload;
+//! * [`baselines`] — G-JavaMPI / JESSICA2 / Xen migration models;
+//! * [`workloads`] — the paper's benchmarks and applications.
+//!
+//! Start with `examples/quickstart.rs` and the crate-level example on
+//! [`runtime`].
+
+pub use sod_asm as asm;
+pub use sod_baselines as baselines;
+pub use sod_net as net;
+pub use sod_preprocess as preprocess;
+pub use sod_runtime as runtime;
+pub use sod_vm as vm;
+pub use sod_workloads as workloads;

@@ -1,0 +1,54 @@
+//! Exception-driven offload (paper §II.B): an allocation that overflows a
+//! small device's heap migrates to the cloud and retries there.
+//!
+//! Run with: `cargo run --release --example exception_offload`
+
+use sod::asm::builder::ClassBuilder;
+use sod::net::{ns_to_ms_string, LinkSpec, Topology};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::engine::{Cluster, SodSim};
+use sod::runtime::node::{Node, NodeConfig};
+use sod::vm::value::Value;
+
+fn main() {
+    let class = ClassBuilder::new("Big")
+        .method("alloc", &["n"], |m| {
+            m.line();
+            m.load("n").newarr().store("a");
+            m.line();
+            m.load("a").arrlen().retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Big", "alloc", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&class).unwrap();
+
+    let mut cfg = NodeConfig::device("phone");
+    cfg.mem_limit = Some(4 << 20);
+    let mut device = Node::new(cfg);
+    device.deploy(&class).unwrap();
+    device.stage(&class);
+    let cloud = Node::new(NodeConfig::cloud("cloud"));
+
+    let mut cluster = Cluster::new(vec![device, cloud]);
+    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(2_000_000)]);
+    cluster.programs[pid as usize].oom_offload_to = Some(1);
+    let mut topo = Topology::gigabit_cluster(2);
+    topo.set_link(0, 1, LinkSpec::wifi_kbps(764));
+    let mut sim = SodSim::new(cluster, topo);
+    sim.start_program(0, pid);
+    sim.run();
+
+    let r = sim.report(pid);
+    println!("allocated elements : {:?}", r.result);
+    println!("migrations         : {}", r.migrations.len());
+    println!(
+        "rescue latency     : {} ms",
+        ns_to_ms_string(r.migrations.first().map(|m| m.latency_ns()).unwrap_or(0))
+    );
+}

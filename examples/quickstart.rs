@@ -1,0 +1,70 @@
+//! Quickstart: author a program, preprocess it, and offload its hot frame
+//! to a second node mid-run.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sod::asm::builder::ClassBuilder;
+use sod::net::{ns_to_ms_string, Topology, MS};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::engine::{Cluster, SodSim};
+use sod::runtime::msg::MigrationPlan;
+use sod::runtime::node::{Node, NodeConfig};
+use sod::vm::instr::Cmp;
+use sod::vm::value::Value;
+
+fn main() {
+    // A simple CPU-bound method plus a main that calls it.
+    let class = ClassBuilder::new("App")
+        .method("work", &["n"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc").load("i").add().store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("App", "work", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .expect("valid program");
+
+    // One offline preprocessing pass: migration-safe points, object-fault
+    // handlers, restoration handlers.
+    let class = preprocess_sod(&class).expect("preprocess");
+
+    let mut home = Node::new(NodeConfig::cluster("home"));
+    home.deploy(&class).unwrap();
+    home.stage(&class);
+    let worker = Node::new(NodeConfig::cluster("worker"));
+
+    let mut cluster = Cluster::new(vec![home, worker]);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(2_000_000)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+    sim.run();
+
+    let r = sim.report(pid);
+    println!("result          : {:?}", r.result);
+    println!("virtual runtime : {} ms", ns_to_ms_string(r.finished_at_ns));
+    println!("object faults   : {}", r.object_faults);
+    for (i, m) in r.migrations.iter().enumerate() {
+        println!(
+            "migration {i}: capture {} ms, transfer {} ms, restore {} ms",
+            ns_to_ms_string(m.capture_ns),
+            ns_to_ms_string(m.transfer_state_ns + m.transfer_class_ns),
+            ns_to_ms_string(m.restore_ns)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Autonomous task roaming (paper §IV.C): a search task hops across ten
+//! WAN file servers instead of pulling 10 files over NFS.
+//!
+//! Run with: `cargo run --release --example roaming_search`
+
+fn main() {
+    print!("{}", sod_bench_tables());
+}
+
+fn sod_bench_tables() -> String {
+    // The roaming experiment is shared with the bench harness.
+    sod_bench::roaming()
+}

@@ -1,0 +1,8 @@
+//! Multi-domain workflow execution (paper Fig. 1c): the stack splits into
+//! segments running on different nodes, with control flowing through them.
+//!
+//! Run with: `cargo run --release --example workflow_pipeline`
+
+fn main() {
+    print!("{}", sod_bench::fig1());
+}

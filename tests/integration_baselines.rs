@@ -1,0 +1,39 @@
+//! Cross-system shapes (Tables III/IV): SOD's migration latency must beat
+//! eager-copy on heap-heavy workloads and lose only where the paper loses.
+
+use sod::baselines::{measure_workload, process_mig, thread_mig, vm_live};
+use sod::workloads::WORKLOADS;
+
+#[test]
+fn sod_beats_eager_copy_on_fft() {
+    let fft = &WORKLOADS[2];
+    let m = measure_workload(&(fft.build)(), fft.class, fft.n);
+    let (_, migs) = sod_bench::run_sodee(fft, true);
+    let sod_latency = migs[0].latency_ns();
+    let gj = process_mig::breakdown(&m).total_ns();
+    assert!(
+        sod_latency * 3 < gj,
+        "SOD {sod_latency} should be far below eager copy {gj} on FFT"
+    );
+}
+
+#[test]
+fn jessica2_captures_faster_but_restores_slower_on_fft() {
+    let fft = &WORKLOADS[2];
+    let m = measure_workload(&(fft.build)(), fft.class, fft.n);
+    let (_, migs) = sod_bench::run_sodee(fft, true);
+    let je = thread_mig::breakdown(&m);
+    assert!(je.capture_ns < migs[0].capture_ns, "in-kernel capture wins");
+    assert!(
+        je.restore_ns > 10_000_000,
+        "static-array allocation should make JESSICA2's FFT restore slow"
+    );
+}
+
+#[test]
+fn xen_latency_is_seconds() {
+    let r = vm_live::simulate(&vm_live::PrecopyConfig::paper_testbed(400, 8));
+    assert!(r.total_ns > 2_000_000_000, "whole-OS migration takes seconds");
+    let (_, migs) = sod_bench::run_sodee(&WORKLOADS[0], true);
+    assert!(r.total_ns > 50 * migs[0].latency_ns());
+}

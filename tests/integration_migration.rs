@@ -1,0 +1,41 @@
+//! End-to-end: every Table I workload completes correctly with and without
+//! a mid-run SOD migration, and the migrated result matches.
+
+use sod::preprocess::preprocess_sod;
+use sod::runtime::engine::{Cluster, SodSim};
+use sod::runtime::msg::MigrationPlan;
+use sod::runtime::node::{Node, NodeConfig};
+use sod::net::{Topology, MS};
+use sod::workloads::WORKLOADS;
+
+#[test]
+fn all_workloads_migrate_losslessly() {
+    for w in &WORKLOADS {
+        let class = preprocess_sod(&(w.build)()).unwrap();
+        let run = |migrate: bool| {
+            let mut home = Node::new(NodeConfig::cluster("home"));
+            home.deploy(&class).unwrap();
+            home.stage(&class);
+            let worker = Node::new(NodeConfig::cluster("worker"));
+            let mut cluster = Cluster::new(vec![home, worker]);
+            let pid = cluster.add_program(0, w.class, w.method, w.args());
+            let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+            sim.start_program(0, pid);
+            if migrate {
+                sim.migrate_at(3 * MS, pid, MigrationPlan::top_to(1, 1));
+            }
+            sim.run();
+            assert!(
+                sim.program(pid).error.is_none(),
+                "{}: {:?}",
+                w.name,
+                sim.program(pid).error
+            );
+            sim.report(pid).result
+        };
+        let plain = run(false);
+        let migrated = run(true);
+        assert_eq!(plain, migrated, "{} diverged under migration", w.name);
+        assert!(plain.is_some(), "{} returned nothing", w.name);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cross-crate property test: migrating a real workload at random points
+//! never changes its result.
+
+use proptest::prelude::*;
+use sod::net::US;
+use sod::preprocess::preprocess_sod;
+use sod::runtime::engine::{Cluster, SodSim};
+use sod::runtime::msg::MigrationPlan;
+use sod::runtime::node::{Node, NodeConfig};
+use sod::net::Topology;
+use sod::vm::value::Value;
+use sod::workloads::programs::fib_class;
+
+fn run_fib(n: i64, migrate_at_us: Option<u64>, nframes: usize) -> Option<i64> {
+    let class = preprocess_sod(&fib_class()).unwrap();
+    let mut home = Node::new(NodeConfig::cluster("home"));
+    home.deploy(&class).unwrap();
+    home.stage(&class);
+    let worker = Node::new(NodeConfig::cluster("worker"));
+    let mut cluster = Cluster::new(vec![home, worker]);
+    let pid = cluster.add_program(0, "Fib", "main", vec![Value::Int(n)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    if let Some(at) = migrate_at_us {
+        sim.migrate_at(at * US, pid, MigrationPlan::top_to(1, nframes));
+    }
+    sim.run();
+    assert!(sim.program(pid).error.is_none(), "{:?}", sim.program(pid).error);
+    sim.report(pid).result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fib_result_invariant_under_migration(
+        n in 16i64..22,
+        at_us in 1u64..4_000,
+        nframes in 1usize..6,
+    ) {
+        let expected = run_fib(n, None, 0);
+        let migrated = run_fib(n, Some(at_us), nframes);
+        prop_assert_eq!(expected, migrated);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fig. 1 and the application scenarios, exercised through the bench
+//! harness entry points.
+
+#[test]
+fn fig1_scenarios_all_complete() {
+    let out = sod_bench::fig1();
+    assert_eq!(out.matches("result=Some").count(), 3, "{out}");
+}
+
+#[test]
+fn table7_bandwidth_sweep_completes() {
+    let out = sod_bench::table7();
+    for k in ["50", "128", "384", "764"] {
+        assert!(out.contains(k), "{out}");
+    }
+}
