@@ -1,0 +1,103 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the subset of its API this repository's property tests
+//! use. The build environment has no crates.io access, so randomized testing
+//! is reimplemented here on a small deterministic PRNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (`prop_assert!` is `assert!`), but is not minimized.
+//! * **Deterministic seeds.** Each `proptest!` test derives its seed from the
+//!   test's module path and name, so runs are reproducible in CI. Set
+//!   `PROPTEST_RERUN_SEED` to perturb the sequence when investigating.
+//! * **Strategies are samplers.** A [`Strategy`] is just a composable random
+//!   generator; value trees and rejection filters are not implemented.
+//!
+//! Supported surface: `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
+//! `Just`, `any::<T>()` for primitives, integer ranges, tuples up to arity
+//! six, `&str` regex-like string patterns (character classes + `{m,n}`
+//! repetition), `proptest::collection::vec`, `prop_oneof!`, `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Run each `#[test]` body against `ProptestConfig::cases` sampled inputs.
+///
+/// In test code, annotate each function with `#[test]` as with upstream
+/// proptest; the attribute passes through the macro unchanged:
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes(); // doctest-only: `#[test]` would register it instead
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly choose one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert within a property test (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality within a property test (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

@@ -1,0 +1,450 @@
+//! Composable random-value strategies (samplers, no shrinking).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A composable generator of random values.
+///
+/// Unlike real proptest, a strategy here is only a sampler: `sample` draws
+/// one value from the PRNG. Combinators mirror the upstream names so test
+/// code is source-compatible.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            f: Arc::new(move |rng: &mut TestRng| self.sample(rng)),
+        }
+    }
+
+    /// Build recursive structures: `self` generates leaves, `branch` wraps an
+    /// inner strategy into recursive cases, and nesting is capped at `depth`.
+    /// The size-tuning parameters of real proptest are accepted but unused.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let rec = branch(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy {
+                // Bias toward recursion; the innermost level is all leaves,
+                // so sampling always terminates.
+                f: Arc::new(move |rng: &mut TestRng| {
+                    if rng.below(4) == 0 {
+                        l.sample(rng)
+                    } else {
+                        rec.sample(rng)
+                    }
+                }),
+            };
+        }
+        cur
+    }
+}
+
+/// A type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<T> {
+    f: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Any<T> {}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-varied values; NaN payload games are out of scope.
+        (rng.next_u64() as i64 as f64) / 1024.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges, tuples, string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// String patterns: a `&str` is a strategy producing `String`s matching a
+/// regex-like subset — literal characters, `[a-zA-Z0-9]` classes with
+/// ranges, and `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers (unbounded
+/// quantifiers are capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+enum AtomKind {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[A-Za-z0-9_]`.
+    Class(Vec<(char, char)>),
+}
+
+struct Atom {
+    kind: AtomKind,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars.next().expect("unterminated character class");
+                    match c {
+                        ']' => {
+                            if let Some(p) = pending {
+                                ranges.push((p, p));
+                            }
+                            break;
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "inverted class range");
+                            ranges.push((lo, hi));
+                        }
+                        other => {
+                            if let Some(p) = pending.replace(other) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class");
+                AtomKind::Class(ranges)
+            }
+            '\\' => AtomKind::Literal(chars.next().expect("dangling escape")),
+            lit => AtomKind::Literal(lit),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                    None => {
+                        let n: u32 = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier");
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pat) {
+        let reps = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+        for _ in 0..reps {
+            match &atom.kind {
+                AtomKind::Literal(c) => out.push(*c),
+                AtomKind::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let size = u64::from(*hi as u32 - *lo as u32 + 1);
+                        if pick < size {
+                            out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= size;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-50i64..50).sample(&mut r);
+            assert!((-50..50).contains(&v));
+            let u = (3u16..9).sample(&mut r);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn pattern_sampling_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9]{0,12}".sample(&mut r);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_union_hits_every_arm() {
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        // Depth of the tree; also checks every leaf stayed in range.
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v));
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut r)) <= 3);
+        }
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let s = (("x{2}", 0u32..4), any::<bool>()).prop_map(|((s, n), b)| (s, n, b));
+        let mut r = rng();
+        let (s, n, _) = s.sample(&mut r);
+        assert_eq!(s, "xx");
+        assert!(n < 4);
+    }
+}

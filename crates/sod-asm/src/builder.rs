@@ -56,7 +56,12 @@ impl ClassBuilder {
 
     /// Define a virtual method: the receiver is named `this` in slot 0 and
     /// `args` follow.
-    pub fn vmethod(mut self, name: &str, args: &[&str], f: impl FnOnce(&mut MethodBuilder)) -> Self {
+    pub fn vmethod(
+        mut self,
+        name: &str,
+        args: &[&str],
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> Self {
         let mut mb = MethodBuilder::new(&mut self.def, name, args, true);
         f(&mut mb);
         let method = mb.finish();
@@ -76,6 +81,10 @@ impl ClassBuilder {
     }
 }
 
+/// A pending `switch` patch: instruction index, `(case value, label)`
+/// pairs, and the default label.
+type SwitchFixup = (usize, Vec<(i64, String)>, String);
+
 /// Builds one method body. Returned by [`ClassBuilder::method`]'s closure.
 #[derive(Debug)]
 pub struct MethodBuilder<'c> {
@@ -88,7 +97,7 @@ pub struct MethodBuilder<'c> {
     locals: Vec<String>,
     labels: HashMap<String, u32>,
     branch_fixups: Vec<(usize, String)>,
-    switch_fixups: Vec<(usize, Vec<(i64, String)>, String)>,
+    switch_fixups: Vec<SwitchFixup>,
     switches: Vec<SwitchTable>,
     catch_fixups: Vec<(String, String, String, ExKind, bool)>,
 }
@@ -251,27 +260,32 @@ impl<'c> MethodBuilder<'c> {
     // -- control flow ------------------------------------------------------------
 
     pub fn if_cmp(&mut self, cmp: Cmp, target: &str) -> &mut Self {
-        self.branch_fixups.push((self.code.len(), target.to_owned()));
+        self.branch_fixups
+            .push((self.code.len(), target.to_owned()));
         self.emit(Instr::If(cmp, u32::MAX))
     }
 
     pub fn ifz(&mut self, cmp: Cmp, target: &str) -> &mut Self {
-        self.branch_fixups.push((self.code.len(), target.to_owned()));
+        self.branch_fixups
+            .push((self.code.len(), target.to_owned()));
         self.emit(Instr::IfZ(cmp, u32::MAX))
     }
 
     pub fn ifnull(&mut self, target: &str) -> &mut Self {
-        self.branch_fixups.push((self.code.len(), target.to_owned()));
+        self.branch_fixups
+            .push((self.code.len(), target.to_owned()));
         self.emit(Instr::IfNull(u32::MAX))
     }
 
     pub fn ifnonnull(&mut self, target: &str) -> &mut Self {
-        self.branch_fixups.push((self.code.len(), target.to_owned()));
+        self.branch_fixups
+            .push((self.code.len(), target.to_owned()));
         self.emit(Instr::IfNonNull(u32::MAX))
     }
 
     pub fn goto(&mut self, target: &str) -> &mut Self {
-        self.branch_fixups.push((self.code.len(), target.to_owned()));
+        self.branch_fixups
+            .push((self.code.len(), target.to_owned()));
         self.emit(Instr::Goto(u32::MAX))
     }
 
@@ -403,10 +417,8 @@ impl<'c> MethodBuilder<'c> {
             self.code[pc].map_targets(|_| target);
         }
         for (sidx, pairs, default) in std::mem::take(&mut self.switch_fixups) {
-            let resolved: Vec<(i64, u32)> = pairs
-                .iter()
-                .map(|(k, l)| (*k, self.resolve(l)))
-                .collect();
+            let resolved: Vec<(i64, u32)> =
+                pairs.iter().map(|(k, l)| (*k, self.resolve(l))).collect();
             self.switches[sidx] = SwitchTable {
                 pairs: resolved,
                 default: self.resolve(&default),
@@ -536,9 +548,7 @@ mod tests {
         let mut vm = Vm::new();
         vm.load_class(&class).unwrap();
         for (k, want) in [(1, 100), (2, 200), (9, -1)] {
-            let r = vm
-                .run_to_completion("T", "pick", &[Value::Int(k)])
-                .unwrap();
+            let r = vm.run_to_completion("T", "pick", &[Value::Int(k)]).unwrap();
             assert_eq!(r, Some(Value::Int(want)));
             vm = Vm::new();
             vm.load_class(&class).unwrap();

@@ -291,9 +291,7 @@ fn apply_op(m: &mut MethodBuilder, op: &str, args: &[String], ln: usize) -> VmRe
             m.pushi(int_arg(0)?);
         }
         "pushf" => {
-            let v: f64 = arg(0)?
-                .parse()
-                .map_err(|_| err(ln, "pushf: bad float"))?;
+            let v: f64 = arg(0)?.parse().map_err(|_| err(ln, "pushf: bad float"))?;
             m.pushf(v);
         }
         "pushstr" => {
@@ -381,8 +379,7 @@ fn apply_op(m: &mut MethodBuilder, op: &str, args: &[String], ln: usize) -> VmRe
                 }
             }
             let default = default.ok_or_else(|| err(ln, "switch needs default:LABEL"))?;
-            let pairrefs: Vec<(i64, &str)> =
-                pairs.iter().map(|(k, l)| (*k, l.as_str())).collect();
+            let pairrefs: Vec<(i64, &str)> = pairs.iter().map(|(k, l)| (*k, l.as_str())).collect();
             m.switch(&pairrefs, &default);
         }
         "new" => {

@@ -7,7 +7,7 @@
 //! capture; FFT (64 MB statics) ≈ 457 / 1054 / 959 ms.
 
 use sod_net::time::US;
-use sod_runtime::costs::{deserialize_ns, serialize_ns, class_load_ns};
+use sod_runtime::costs::{class_load_ns, deserialize_ns, serialize_ns};
 
 use crate::systems::{gigabit_transfer_ns, MigrationBreakdown, WorkloadMeasure};
 
@@ -21,11 +21,11 @@ pub const CAPTURE_FIXED_NS: u64 = 2_000 * US;
 /// Migration breakdown for an eager-copy process migration of `m`.
 pub fn breakdown(m: &WorkloadMeasure) -> MigrationBreakdown {
     let state_bytes = m.stack_bytes + m.heap_bytes;
-    let capture_ns = CAPTURE_FIXED_NS
-        + CAPTURE_PER_FRAME_NS * m.frames as u64
-        + serialize_ns(state_bytes);
+    let capture_ns =
+        CAPTURE_FIXED_NS + CAPTURE_PER_FRAME_NS * m.frames as u64 + serialize_ns(state_bytes);
     let transfer_ns = gigabit_transfer_ns(state_bytes + m.class_bytes);
-    let restore_ns = deserialize_ns(state_bytes) + class_load_ns(m.class_bytes)
+    let restore_ns = deserialize_ns(state_bytes)
+        + class_load_ns(m.class_bytes)
         + CAPTURE_PER_FRAME_NS * m.frames as u64 / 2;
     MigrationBreakdown {
         capture_ns,

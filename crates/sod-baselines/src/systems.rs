@@ -147,7 +147,11 @@ mod tests {
     fn measurement_is_sane() {
         let m = measure_workload(&fib_class(), "Fib", 18);
         assert!(m.exec_ns > 0);
-        assert!(m.frames >= 2, "mid-run fib should be deep, got {}", m.frames);
+        assert!(
+            m.frames >= 2,
+            "mid-run fib should be deep, got {}",
+            m.frames
+        );
         assert!(m.stack_bytes > 0);
         assert!(m.class_bytes > 100);
     }

@@ -27,9 +27,8 @@ pub const RESTORE_FIXED_NS: u64 = 6_000 * US;
 pub fn breakdown(m: &WorkloadMeasure) -> MigrationBreakdown {
     let capture_ns = CAPTURE_FIXED_NS + CAPTURE_PER_FRAME_NS * m.frames as u64;
     let transfer_ns = gigabit_transfer_ns(m.stack_bytes);
-    let restore_ns = RESTORE_FIXED_NS
-        + class_load_ns(m.class_bytes)
-        + alloc_cost(m.static_array_bytes); // statics allocated at load!
+    let restore_ns =
+        RESTORE_FIXED_NS + class_load_ns(m.class_bytes) + alloc_cost(m.static_array_bytes); // statics allocated at load!
     MigrationBreakdown {
         capture_ns,
         transfer_ns,

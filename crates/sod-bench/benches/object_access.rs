@@ -36,9 +36,15 @@ fn micro() -> sod_vm::class::ClassDef {
 fn bench(c: &mut Criterion) {
     let plain = micro();
     let variants = [
-        ("rearranged", preprocess(&plain, &Options::rearrange_only()).unwrap().0),
+        (
+            "rearranged",
+            preprocess(&plain, &Options::rearrange_only()).unwrap().0,
+        ),
         ("faulting", preprocess(&plain, &Options::sod()).unwrap().0),
-        ("checking", preprocess(&plain, &Options::status_checks()).unwrap().0),
+        (
+            "checking",
+            preprocess(&plain, &Options::status_checks()).unwrap().0,
+        ),
     ];
     let mut g = c.benchmark_group("object_access");
     for (name, class) in &variants {

@@ -278,7 +278,11 @@ pub fn table6() -> String {
         let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
         sim.start_program(0, pid);
         sim.run();
-        assert!(sim.program(pid).error.is_none(), "{:?}", sim.program(pid).error);
+        assert!(
+            sim.program(pid).error.is_none(),
+            "{:?}",
+            sim.program(pid).error
+        );
         sim.report(pid).finished_at_ns
     };
     // Roam target is `first_server + i`; with one server node we pass 1 and
@@ -330,7 +334,7 @@ pub fn table7() -> String {
         topo.set_link(0, 1, LinkSpec::wifi_kbps(kbps));
         let mut sim = SodSim::new(cluster, topo);
         sim.start_program(0, pid);
-        sim.migrate_at(1 * MS, pid, MigrationPlan::top_to(1, 2));
+        sim.migrate_at(MS, pid, MigrationPlan::top_to(1, 2));
         sim.run();
         assert!(sim.program(pid).error.is_none());
         let m = sim.report(pid).migrations[0];
@@ -352,13 +356,22 @@ pub fn table7() -> String {
 pub fn fig1() -> String {
     let w = &WORKLOADS[1]; // NQ: a real recursion
     let scenarios: [(&str, MigrationPlan); 3] = [
-        ("(a) top frame out, control returns home", MigrationPlan::top_to(1, 1)),
+        (
+            "(a) top frame out, control returns home",
+            MigrationPlan::top_to(1, 1),
+        ),
         (
             "(b) total migration: all frames to node 1",
             MigrationPlan {
                 segments: vec![
-                    SegmentSpec { dest: 1, nframes: 1 },
-                    SegmentSpec { dest: 1, nframes: 64 },
+                    SegmentSpec {
+                        dest: 1,
+                        nframes: 1,
+                    },
+                    SegmentSpec {
+                        dest: 1,
+                        nframes: 64,
+                    },
                 ],
             },
         ),
@@ -366,8 +379,14 @@ pub fn fig1() -> String {
             "(c) workflow: top to node 1, residual to node 2",
             MigrationPlan {
                 segments: vec![
-                    SegmentSpec { dest: 1, nframes: 1 },
-                    SegmentSpec { dest: 2, nframes: 64 },
+                    SegmentSpec {
+                        dest: 1,
+                        nframes: 1,
+                    },
+                    SegmentSpec {
+                        dest: 2,
+                        nframes: 64,
+                    },
                 ],
             },
         ),
@@ -448,7 +467,11 @@ pub fn roaming() -> String {
         let mut sim = SodSim::new(cluster, Topology::wan_grid(nfiles + 1));
         sim.start_program(0, pid);
         sim.run();
-        assert!(sim.program(pid).error.is_none(), "{:?}", sim.program(pid).error);
+        assert!(
+            sim.program(pid).error.is_none(),
+            "{:?}",
+            sim.program(pid).error
+        );
         (
             sim.report(pid).finished_at_ns,
             sim.report(pid).migrations.len(),

@@ -125,12 +125,7 @@ impl<W: World> Sim<W> {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            at,
-            seq,
-            dst,
-            msg,
-        }));
+        self.queue.push(Reverse(Event { at, seq, dst, msg }));
     }
 
     /// Deliver the next event; returns false when the queue is empty.

@@ -27,7 +27,9 @@ pub fn inject_status_checks(class: &mut ClassDef) -> VmResult<usize> {
         total += inject_into_method(class, mi);
     }
     if total > 0 && !class.fields.iter().any(|f| f.name == "__status") {
-        class.fields.push(FieldDef::instance("__status", TypeOf::Int));
+        class
+            .fields
+            .push(FieldDef::instance("__status", TypeOf::Int));
     }
     Ok(total)
 }

@@ -63,7 +63,8 @@ fn inject_into_method(class: &mut ClassDef, method_idx: usize) -> VmResult<usize
         let m = &class.methods[method_idx];
         let mut start = 0u32;
         for pc in 1..=m.code.len() as u32 {
-            let boundary = pc == m.code.len() as u32 || m.lines[pc as usize] != m.lines[start as usize];
+            let boundary =
+                pc == m.code.len() as u32 || m.lines[pc as usize] != m.lines[start as usize];
             if boundary {
                 statements.push((start, pc));
                 start = pc;
@@ -98,12 +99,11 @@ fn inject_into_method(class: &mut ClassDef, method_idx: usize) -> VmResult<usize
         class.methods[method_idx].nlocals += 1;
     }
 
-    let mut handler_line = max_line(&class.methods[method_idx]);
+    let first_handler_line = max_line(&class.methods[method_idx]) + 1;
     let mut new_entries: Vec<ExEntry> = Vec::new();
     let count = plans.len();
 
-    for (start, end, prov) in plans {
-        handler_line += 1;
+    for (handler_line, (start, end, prov)) in (first_handler_line..).zip(plans) {
         let m = &mut class.methods[method_idx];
         let handler_pc = m.code.len() as u32;
         let emit = |code: &mut Vec<Instr>, lines: &mut Vec<u32>, i: Instr| {
@@ -131,7 +131,11 @@ fn inject_into_method(class: &mut ClassDef, method_idx: usize) -> VmResult<usize
                 emit(&mut code, &mut lines, Instr::Goto(start));
             }
             Prov::Static(c, f) => {
-                emit(&mut code, &mut lines, Instr::BringObjStaticTo(c, f, scratch));
+                emit(
+                    &mut code,
+                    &mut lines,
+                    Instr::BringObjStaticTo(c, f, scratch),
+                );
                 emit(&mut code, &mut lines, Instr::Goto(start));
             }
             Prov::ElemOfLocal(s, i) => {
@@ -290,7 +294,10 @@ mod tests {
         let mut c = point_class();
         rearrange_class(&mut c).unwrap();
         let n = inject_fault_handlers(&mut c).unwrap();
-        assert!(n >= 3, "expected handlers for field/call statements, got {n}");
+        assert!(
+            n >= 3,
+            "expected handlers for field/call statements, got {n}"
+        );
         let main = c.method("main").unwrap();
         assert!(main.ex_table.iter().any(|e| e.fault_handler));
         assert!(main

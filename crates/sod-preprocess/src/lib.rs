@@ -195,10 +195,7 @@ mod tests {
                     .add()
                     .store("sum");
                 m.line();
-                m.load("this")
-                    .getfield("p")
-                    .load("sum")
-                    .putfield("x");
+                m.load("this").getfield("p").load("sum").putfield("x");
                 m.line();
                 m.ret();
             })

@@ -225,7 +225,8 @@ mod tests {
     fn run(class: &ClassDef, arg: i64) -> Option<Value> {
         let mut vm = Vm::new();
         vm.load_class(class).unwrap();
-        vm.run_to_completion("S", "main", &[Value::Int(arg)]).unwrap()
+        vm.run_to_completion("S", "main", &[Value::Int(arg)])
+            .unwrap()
     }
 
     #[test]
@@ -319,7 +320,11 @@ mod tests {
                 m.load("i").pushi(4).if_cmp(sod_vm::instr::Cmp::Ge, "done");
                 m.line();
                 // sum = twice(sum) + 1  (call mid-line forces a cut)
-                m.load("sum").invoke("S", "twice", 1).pushi(1).add().store("sum");
+                m.load("sum")
+                    .invoke("S", "twice", 1)
+                    .pushi(1)
+                    .add()
+                    .store("sum");
                 m.line();
                 m.load("i").pushi(1).add().store("i").goto("loop");
                 m.line();

@@ -138,7 +138,10 @@ mod tests {
 
     /// Drive the breakpoint → InvalidState → handler protocol to completion
     /// on a fresh VM, then run to the final result.
-    fn handler_restore_and_run(class: &ClassDef, state: &sod_vm::capture::CapturedState) -> Option<Value> {
+    fn handler_restore_and_run(
+        class: &ClassDef,
+        state: &sod_vm::capture::CapturedState,
+    ) -> Option<Value> {
         let mut vm = Vm::new();
         vm.load_class(class).unwrap();
         let tid = begin_handler_restore(&mut vm, state).unwrap();

@@ -64,10 +64,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
             inner.prop_map(|e| Expr::Helper(Box::new(e))),
         ]
     })
@@ -408,7 +406,10 @@ fn faults_occur_and_resolve() {
         assert_eq!(expected, migrated, "divergence at steps={steps}");
         max_faults = max_faults.max(faults);
     }
-    assert!(max_faults >= 2, "expected real object faults, got {max_faults}");
+    assert!(
+        max_faults >= 2,
+        "expected real object faults, got {max_faults}"
+    );
 }
 
 #[test]
@@ -419,7 +420,9 @@ fn capture_anywhere_fails_cleanly_off_msp() {
     let (processed, _) = preprocess(&original, &Options::sod()).unwrap();
     let mut vm = Vm::new();
     vm.load_class(&processed).unwrap();
-    let tid = vm.spawn("G", "main", &[Value::Int(1), Value::Int(2)]).unwrap();
+    let tid = vm
+        .spawn("G", "main", &[Value::Int(1), Value::Int(2)])
+        .unwrap();
     let mut refused = 0;
     let mut allowed = 0;
     for _ in 0..200 {

@@ -36,7 +36,9 @@ use sod_vm::class::ExKind;
 use sod_vm::interp::{ExceptionInfo, RunMode, StepOutcome};
 use sod_vm::tooling::{jvmti, ToolingPath};
 use sod_vm::value::{ObjId, Value};
-use sod_vm::wire::{class_wire_bytes, extract_closure, extract_dirty, extract_object, install_object, WireObject};
+use sod_vm::wire::{
+    class_wire_bytes, extract_closure, extract_dirty, extract_object, install_object, WireObject,
+};
 
 use crate::costs;
 use crate::metrics::{MigrationTimings, RunReport};
@@ -54,10 +56,6 @@ pub const DEFAULT_SLICE_NS: u64 = 100_000; // 100 µs
 
 /// Payload size of small control messages (requests, acks).
 const CONTROL_MSG_BYTES: u64 = 128;
-
-
-
-
 
 /// On-demand fetch policy (ablation axis; the paper's default is shallow
 /// per-object fetching).
@@ -104,16 +102,24 @@ struct StagedSegment {
 
 /// Worker-session lifecycle.
 enum WorkerPhase {
-    AwaitClasses { missing: HashSet<String> },
-    Restoring { restored: usize },
+    AwaitClasses {
+        missing: HashSet<String>,
+    },
+    Restoring {
+        restored: usize,
+    },
     /// Restore-ahead workflow segment awaiting the return value of the
     /// segment above.
     Waiting,
     Running,
     /// Roaming: flush sent, awaiting id assignments before capture.
-    AwaitRoamAck { dest: usize },
+    AwaitRoamAck {
+        dest: usize,
+    },
     /// Completion flush with ack (reference-valued return), awaiting ids.
-    AwaitCompleteAck { retval: Option<CapturedValue> },
+    AwaitCompleteAck {
+        retval: Option<CapturedValue>,
+    },
     Done,
 }
 
@@ -540,16 +546,12 @@ impl Cluster {
                         let disk = self.nodes[node].fs.disk_read_ns(meta.bytes);
                         let scan = self.scan_ns(node, meta.bytes);
                         let reply = match op {
-                            FsOp::Search => HostReply::Int(
-                                meta.match_at.map(|p| p as i64).unwrap_or(-1),
-                            ),
+                            FsOp::Search => {
+                                HostReply::Int(meta.match_at.map(|p| p as i64).unwrap_or(-1))
+                            }
                             FsOp::Read => HostReply::Int(meta.bytes as i64),
                         };
-                        ctx.schedule(
-                            elapsed + disk + scan,
-                            node,
-                            Msg::HostDone { tid, reply },
-                        );
+                        ctx.schedule(elapsed + disk + scan, node, Msg::HostDone { tid, reply });
                     }
                     Some((_meta, Some(server))) => {
                         // NFS: request to the serving node; bytes stream back.
@@ -650,7 +652,10 @@ impl Cluster {
                 };
                 let cost = costs::class_load_ns(class_wire_bytes(&class));
                 self.nodes[node].vm.load_class(&class).expect("load");
-                self.nodes[node].vm.resume_class_loaded(tid).expect("resume");
+                self.nodes[node]
+                    .vm
+                    .resume_class_loaded(tid)
+                    .expect("resume");
                 ctx.schedule(
                     elapsed + self.nodes[node].cfg.scale(cost),
                     node,
@@ -728,11 +733,19 @@ impl Cluster {
                     return;
                 }
             }
-            self.fail_program(program, format!("unhandled {:?}: {}", e.kind, e.message), ctx);
+            self.fail_program(
+                program,
+                format!("unhandled {:?}: {}", e.kind, e.message),
+                ctx,
+            );
         } else {
             let sid = self.worker_of(node, tid);
             let program = self.sessions[&sid].program;
-            self.fail_program(program, format!("worker fault {:?}: {}", e.kind, e.message), ctx);
+            self.fail_program(
+                program,
+                format!("worker fault {:?}: {}", e.kind, e.message),
+                ctx,
+            );
         }
     }
 
@@ -789,9 +802,8 @@ impl Cluster {
         self.programs[program as usize].report.object_bytes += flush_bytes;
 
         if needs_ack {
-            self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::AwaitCompleteAck {
-                retval: retval_cap,
-            };
+            self.sessions.get_mut(&sid).unwrap().phase =
+                WorkerPhase::AwaitCompleteAck { retval: retval_cap };
             ctx.send_after(
                 cost,
                 node,
@@ -855,7 +867,14 @@ impl Cluster {
     // Roaming (worker → worker hops)
     // ------------------------------------------------------------------
 
-    fn begin_roam(&mut self, node: usize, tid: usize, sid: SessionId, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+    fn begin_roam(
+        &mut self,
+        node: usize,
+        tid: usize,
+        sid: SessionId,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
         let dest = self.sessions[&sid].pending_roam.expect("roam dest");
         let (flush, flush_bytes) = collect_flush(&mut self.nodes[node].vm, None);
         let program = self.sessions[&sid].program;
@@ -1080,8 +1099,8 @@ impl Cluster {
             // not re-execute invokes) and no-JVMTI devices (Java-level
             // reflective restore).
             let state = self.sessions[&sid].state.clone();
-            let tid = restore_segment_direct(&mut self.nodes[node].vm, &state)
-                .expect("direct restore");
+            let tid =
+                restore_segment_direct(&mut self.nodes[node].vm, &state).expect("direct restore");
             self.thread_owner.insert((node, tid), Owner::Worker(sid));
             let base = if has_jvmti {
                 costs::RESTORE_FIXED_NS + nframes as u64 * costs::RESTORE_PER_FRAME_NS
@@ -1106,11 +1125,20 @@ impl Cluster {
                 w.phase = WorkerPhase::Running;
                 ctx.schedule(cost, node, Msg::RunSlice { tid });
             }
-            self.programs[program as usize].report.migrations.push(timings);
+            self.programs[program as usize]
+                .report
+                .migrations
+                .push(timings);
         }
     }
 
-    fn restore_breakpoint(&mut self, node: usize, tid: usize, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+    fn restore_breakpoint(
+        &mut self,
+        node: usize,
+        tid: usize,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
         let sid = self.worker_of(node, tid);
         let (restored, nframes) = {
             let w = &self.sessions[&sid];
@@ -1152,7 +1180,13 @@ impl Cluster {
 
     /// Handler-protocol restore finishes when every frame has been
     /// re-established and the thread executes a normal slice.
-    fn maybe_finish_restore(&mut self, node: usize, tid: usize, elapsed: u64, ctx: &mut SimCtx<'_, Msg>) {
+    fn maybe_finish_restore(
+        &mut self,
+        node: usize,
+        tid: usize,
+        elapsed: u64,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
         let Some(Owner::Worker(sid)) = self.thread_owner.get(&(node, tid)) else {
             return;
         };
@@ -1174,7 +1208,10 @@ impl Cluster {
         w.phase = WorkerPhase::Running;
         let timings = w.timings;
         let program = w.program;
-        self.programs[program as usize].report.migrations.push(timings);
+        self.programs[program as usize]
+            .report
+            .migrations
+            .push(timings);
     }
 
     // ------------------------------------------------------------------
@@ -1206,8 +1243,7 @@ impl Cluster {
                 (root, closure)
             }
         };
-        let bytes: u64 =
-            root.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let bytes: u64 = root.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
         let cost = costs::OBJ_LOOKUP_NS + costs::serialize_ns(bytes);
         ctx.send_after(
             self.nodes[home].cfg.scale(cost),
@@ -1279,9 +1315,7 @@ impl Cluster {
                 CapturedValue::Int(i) => Value::Int(*i),
                 CapturedValue::Num(n) => Value::Num(*n),
                 CapturedValue::Null => Value::Null,
-                CapturedValue::HomeRef(h) => {
-                    Value::Ref(map.get(h).copied().unwrap_or(*h))
-                }
+                CapturedValue::HomeRef(h) => Value::Ref(map.get(h).copied().unwrap_or(*h)),
             }
         };
         let mut total_bytes = 0u64;
@@ -1332,7 +1366,13 @@ impl Cluster {
         }
     }
 
-    fn flush_ack(&mut self, node: usize, sid: SessionId, assigned: Vec<(ObjId, ObjId)>, ctx: &mut SimCtx<'_, Msg>) {
+    fn flush_ack(
+        &mut self,
+        node: usize,
+        sid: SessionId,
+        assigned: Vec<(ObjId, ObjId)>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
         // Record master ids on the local copies.
         for (temp, home_id) in &assigned {
             let local = (temp - TEMP_ID_BASE) as ObjId;
@@ -1340,7 +1380,10 @@ impl Cluster {
                 o.home_id = Some(*home_id);
             }
         }
-        let phase = std::mem::replace(&mut self.sessions.get_mut(&sid).unwrap().phase, WorkerPhase::Done);
+        let phase = std::mem::replace(
+            &mut self.sessions.get_mut(&sid).unwrap().phase,
+            WorkerPhase::Done,
+        );
         match phase {
             WorkerPhase::AwaitRoamAck { dest } => {
                 let tid = self.sessions[&sid].tid;
@@ -1414,18 +1457,15 @@ impl Cluster {
                 debug_assert!(matches!(w.phase, WorkerPhase::Waiting));
                 let tid = w.tid;
                 w.phase = WorkerPhase::Running;
-                let val = retval
-                    .map(|cv| match cv {
-                        CapturedValue::Int(i) => Value::Int(i),
-                        CapturedValue::Num(n) => Value::Num(n),
-                        CapturedValue::Null => Value::Null,
-                        CapturedValue::HomeRef(h) => {
-                            match self.nodes[node].vm.heap.find_cached(h) {
-                                Some(local) => Value::Ref(local),
-                                None => Value::NulledRef(h),
-                            }
-                        }
-                    });
+                let val = retval.map(|cv| match cv {
+                    CapturedValue::Int(i) => Value::Int(i),
+                    CapturedValue::Num(n) => Value::Num(n),
+                    CapturedValue::Null => Value::Null,
+                    CapturedValue::HomeRef(h) => match self.nodes[node].vm.heap.find_cached(h) {
+                        Some(local) => Value::Ref(local),
+                        None => Value::NulledRef(h),
+                    },
+                });
                 deliver_return(&mut self.nodes[node].vm, tid, val);
                 ctx.schedule(1_000, node, Msg::RunSlice { tid });
             }
@@ -1484,10 +1524,7 @@ impl World for Cluster {
             Msg::RunSlice { tid } => self.run_slice(dst, tid, ctx),
             Msg::HostDone { tid, reply } => {
                 let v = materialize_reply(&mut self.nodes[dst].vm, reply);
-                self.nodes[dst]
-                    .vm
-                    .resume_host(tid, v)
-                    .expect("resume host");
+                self.nodes[dst].vm.resume_host(tid, v).expect("resume host");
                 ctx.schedule(0, dst, Msg::RunSlice { tid });
             }
             Msg::CaptureDone { program } => self.capture_done(program, ctx),
@@ -1500,7 +1537,15 @@ impl World for Cluster {
                 capture_ns,
                 sent_at,
             } => self.state_arrived(
-                dst, info, state, bundled, state_bytes, class_bytes, capture_ns, sent_at, ctx,
+                dst,
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+                sent_at,
+                ctx,
             ),
             Msg::BeginRestore { session } => self.begin_restore(session, ctx),
             Msg::ClassRequest {
@@ -1534,7 +1579,9 @@ impl World for Cluster {
                 if !self.nodes[dst].vm.has_class(&class.name) {
                     self.nodes[dst].vm.load_class(&class).expect("class reply");
                 }
-                self.nodes[dst].repo.insert(class.name.clone(), class.clone());
+                self.nodes[dst]
+                    .repo
+                    .insert(class.name.clone(), class.clone());
                 let w = self.sessions.get_mut(&session).expect("session");
                 match &mut w.phase {
                     WorkerPhase::AwaitClasses { missing } => {
@@ -1602,9 +1649,7 @@ impl World for Cluster {
                 };
                 let disk = self.nodes[dst].fs.disk_read_ns(meta.bytes);
                 let result = match op {
-                    FsOp::Search => {
-                        HostReply::Int(meta.match_at.map(|p| p as i64).unwrap_or(-1))
-                    }
+                    FsOp::Search => HostReply::Int(meta.match_at.map(|p| p as i64).unwrap_or(-1)),
                     FsOp::Read => HostReply::Int(meta.bytes as i64),
                 };
                 ctx.send_after(

@@ -88,7 +88,10 @@ pub enum Msg {
     StartProgram { program: ProgramId },
     /// Trigger a migration of the program's thread per `plan` at the next
     /// migration-safe point.
-    MigrateNow { program: ProgramId, plan: MigrationPlan },
+    MigrateNow {
+        program: ProgramId,
+        plan: MigrationPlan,
+    },
 
     // -- execution timers ----------------------------------------------------
     /// Continue running VM thread `tid` on this node.
@@ -211,8 +214,14 @@ mod tests {
         assert_eq!(p.total_frames(), 2);
         let w = MigrationPlan {
             segments: vec![
-                SegmentSpec { dest: 1, nframes: 1 },
-                SegmentSpec { dest: 2, nframes: 2 },
+                SegmentSpec {
+                    dest: 1,
+                    nframes: 1,
+                },
+                SegmentSpec {
+                    dest: 2,
+                    nframes: 2,
+                },
             ],
         };
         assert_eq!(w.total_frames(), 3);

@@ -100,7 +100,8 @@ fn fig1a_top_segment_returns_home() {
     sim.run();
     let r = sim.report(pid);
     assert_eq!(
-        sim.program(pid).error, None,
+        sim.program(pid).error,
+        None,
         "program failed: {:?}",
         sim.program(pid).error
     );
@@ -134,8 +135,14 @@ fn fig1b_total_migration_continues_at_dest() {
         pid,
         MigrationPlan {
             segments: vec![
-                SegmentSpec { dest: 1, nframes: 1 },
-                SegmentSpec { dest: 1, nframes: 8 },
+                SegmentSpec {
+                    dest: 1,
+                    nframes: 1,
+                },
+                SegmentSpec {
+                    dest: 1,
+                    nframes: 8,
+                },
             ],
         },
     );
@@ -160,8 +167,14 @@ fn fig1c_workflow_three_nodes() {
         pid,
         MigrationPlan {
             segments: vec![
-                SegmentSpec { dest: 1, nframes: 1 },
-                SegmentSpec { dest: 2, nframes: 8 },
+                SegmentSpec {
+                    dest: 1,
+                    nframes: 1,
+                },
+                SegmentSpec {
+                    dest: 2,
+                    nframes: 8,
+                },
             ],
         },
     );
@@ -308,7 +321,9 @@ fn nfs_locality_improves_with_migration() {
         client.stage(&class);
         client.fs.mount("/srv/", 1);
         let mut server = Node::new(NodeConfig::cluster("server"));
-        server.fs.add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
+        server
+            .fs
+            .add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
         let mut cluster = Cluster::new(vec![client, server]);
         let pid = cluster.add_program(0, "Search", "main", vec![]);
         if !migrate {
@@ -318,10 +333,7 @@ fn nfs_locality_improves_with_migration() {
         let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
         sim.start_program(0, pid);
         sim.run();
-        (
-            sim.report(pid).finished_at_ns,
-            sim.report(pid).result,
-        )
+        (sim.report(pid).finished_at_ns, sim.report(pid).result)
     };
     // With the hint the search runs on the server (local disk read).
     let (with_mig, r1) = run(true);
@@ -345,7 +357,9 @@ fn nfs_locality_improves_with_migration() {
     client.deploy(&class2).unwrap();
     client.fs.mount("/srv/", 1);
     let mut server = Node::new(NodeConfig::cluster("server"));
-    server.fs.add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
+    server
+        .fs
+        .add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
     let mut cluster = Cluster::new(vec![client, server]);
     let pid = cluster.add_program(0, "Search", "main", vec![]);
     let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
@@ -452,7 +466,11 @@ fn deep_fetch_reduces_fault_count() {
             m.label("loop");
             m.load("head").ifnull("done");
             m.line();
-            m.load("acc").load("head").getfield("val").add().store("acc");
+            m.load("acc")
+                .load("head")
+                .getfield("val")
+                .add()
+                .store("acc");
             m.line();
             m.load("head").getfield("next").store("head");
             m.goto("loop");
@@ -492,5 +510,8 @@ fn deep_fetch_reduces_fault_count() {
         shallow_faults > deep_faults,
         "shallow={shallow_faults} deep={deep_faults}"
     );
-    assert!(shallow_faults >= 40, "one fault per list node, got {shallow_faults}");
+    assert!(
+        shallow_faults >= 40,
+        "one fault per list node, got {shallow_faults}"
+    );
 }

@@ -182,10 +182,7 @@ mod tests {
         );
         let c = cls(m);
         let s = method_summary(&c, c.method("m").unwrap()).unwrap();
-        assert_eq!(
-            s.depth,
-            vec![Some(0), Some(1), Some(2), Some(1), Some(0)]
-        );
+        assert_eq!(s.depth, vec![Some(0), Some(1), Some(2), Some(1), Some(0)]);
         assert_eq!(s.max_stack, 2);
         // pc 0 is a line start at depth 0 => MSP; pc 4 (line 2) also.
         assert!(s.is_msp(0));
@@ -288,10 +285,8 @@ mod tests {
 
     #[test]
     fn unreachable_code_has_no_depth() {
-        let m = MethodDef::new("m", 0, 0).with_code(
-            vec![Instr::Ret, Instr::PushI(1), Instr::Ret],
-            vec![1, 2, 2],
-        );
+        let m = MethodDef::new("m", 0, 0)
+            .with_code(vec![Instr::Ret, Instr::PushI(1), Instr::Ret], vec![1, 2, 2]);
         let c = cls(m);
         let s = method_summary(&c, c.method("m").unwrap()).unwrap();
         assert_eq!(s.depth[1], None);

@@ -20,7 +20,6 @@
 //!   saved pc, re-invoking the next method up. The two must agree — a
 //!   property test in `sod-preprocess` verifies it.
 
-
 use crate::error::{VmError, VmResult};
 use crate::frame::Frame;
 use crate::interp::{RestoreSession, Vm};
@@ -416,7 +415,7 @@ mod tests {
         assert_eq!(f.method, "f");
         assert_eq!(f.locals.len(), 2);
         assert_eq!(f.locals[0], CapturedValue::Int(10)); // arg n
-        // Statics captured.
+                                                         // Statics captured.
         assert_eq!(state.statics.len(), 1);
         assert_eq!(state.statics[0].values, vec![CapturedValue::Int(77)]);
         // JVMTI costs: suspend + per-frame + 2 locals ≥ 60us.

@@ -155,7 +155,6 @@ pub struct MethodDef {
 
 impl MethodDef {
     pub fn new(name: impl Into<String>, nargs: u16, extra_locals: u16) -> Self {
-        let nargs = nargs;
         MethodDef {
             name: name.into(),
             nargs,
@@ -279,10 +278,7 @@ impl ClassDef {
     /// Instance fields in declaration order (their indices define the object
     /// layout).
     pub fn instance_fields(&self) -> impl Iterator<Item = (usize, &FieldDef)> {
-        self.fields
-            .iter()
-            .filter(|f| !f.is_static)
-            .enumerate()
+        self.fields.iter().filter(|f| !f.is_static).enumerate()
     }
 
     /// Static fields in declaration order (their indices define the statics
@@ -315,11 +311,7 @@ impl ClassDef {
     pub fn class_file_size_bytes(&self) -> u64 {
         let header = 32 + self.name.len() as u64;
         let pool: u64 = self.pool.iter().map(|s| 4 + s.len() as u64).sum();
-        let fields: u64 = self
-            .fields
-            .iter()
-            .map(|f| 8 + f.name.len() as u64)
-            .sum();
+        let fields: u64 = self.fields.iter().map(|f| 8 + f.name.len() as u64).sum();
         let methods: u64 = self.methods.iter().map(|m| m.code_size_bytes()).sum();
         header + pool + fields + methods
     }
@@ -337,12 +329,10 @@ mod tests {
             .with_field(FieldDef::stat("count", TypeOf::Int));
         let i = c.intern("displaceX");
         assert_eq!(c.pool_str(i).unwrap(), "displaceX");
-        c.methods.push(
-            MethodDef::new("displaceX", 1, 2).with_code(
-                vec![Instr::PushI(0), Instr::Store(1), Instr::Ret],
-                vec![1, 1, 2],
-            ),
-        );
+        c.methods.push(MethodDef::new("displaceX", 1, 2).with_code(
+            vec![Instr::PushI(0), Instr::Store(1), Instr::Ret],
+            vec![1, 1, 2],
+        ));
         c
     }
 
@@ -407,7 +397,8 @@ mod tests {
         let mut instrumented = plain.clone();
         let m = instrumented.method_mut("displaceX").unwrap();
         // Simulate added handler code.
-        m.code.extend([Instr::Nop, Instr::Nop, Instr::Nop, Instr::Nop]);
+        m.code
+            .extend([Instr::Nop, Instr::Nop, Instr::Nop, Instr::Nop]);
         m.lines.extend([2, 2, 2, 2]);
         m.ex_table
             .push(ExEntry::new(0, 3, 3, ExKind::NullPointer).as_fault_handler());

@@ -137,10 +137,23 @@ pub struct ObjectQuery {
 /// faulted).
 #[derive(Clone, Debug, PartialEq)]
 enum FaultBind {
-    Local { slot: u16 },
-    Field { base: ObjId, field_idx: usize },
-    StaticTo { class_idx: usize, static_idx: usize, dest_slot: u16 },
-    ElemTo { base: ObjId, index: i64, dest_slot: u16 },
+    Local {
+        slot: u16,
+    },
+    Field {
+        base: ObjId,
+        field_idx: usize,
+    },
+    StaticTo {
+        class_idx: usize,
+        static_idx: usize,
+        dest_slot: u16,
+    },
+    ElemTo {
+        base: ObjId,
+        index: i64,
+        dest_slot: u16,
+    },
     /// Status-checking baseline: the runtime filled the stub in place; no
     /// binding beyond unparking is required.
     Stub,
@@ -209,7 +222,10 @@ impl VmThread {
     }
 
     pub fn is_finished(&self) -> bool {
-        matches!(self.state, ThreadState::Finished(_) | ThreadState::Faulted(_))
+        matches!(
+            self.state,
+            ThreadState::Finished(_) | ThreadState::Faulted(_)
+        )
     }
 
     /// Total state bytes across frames (paper's captured-state sizing).
@@ -406,12 +422,7 @@ impl Vm {
         use crate::capture::CapturedValue;
         match v {
             Value::Ref(id) => {
-                let home = self
-                    .heap
-                    .get(id)
-                    .ok()
-                    .and_then(|o| o.home_id)
-                    .unwrap_or(id);
+                let home = self.heap.get(id).ok().and_then(|o| o.home_id).unwrap_or(id);
                 CapturedValue::HomeRef(home)
             }
             other => CapturedValue::from_value(other),
@@ -456,7 +467,7 @@ impl Vm {
         match &self.thread(tid)?.state {
             ThreadState::Runnable => {}
             ThreadState::Parked(_) => return Err(VmError::ThreadParked(tid)),
-            ThreadState::Finished(v) => return Ok(StepOutcome::Returned(v.clone().flatten_unit())),
+            ThreadState::Finished(v) => return Ok(StepOutcome::Returned((*v).flatten_unit())),
             ThreadState::Faulted(e) => return Ok(StepOutcome::Unhandled(e.clone())),
         }
 
@@ -504,7 +515,12 @@ impl Vm {
 
     /// Run thread `tid` for at most `budget_ns` of charged virtual time.
     /// Returns the outcome and the virtual ns actually consumed.
-    pub fn run(&mut self, tid: usize, budget_ns: u64, mode: RunMode) -> VmResult<(StepOutcome, u64)> {
+    pub fn run(
+        &mut self,
+        tid: usize,
+        budget_ns: u64,
+        mode: RunMode,
+    ) -> VmResult<(StepOutcome, u64)> {
         let start = self.meter_ns;
         loop {
             if mode == RunMode::StopAtMsp {
@@ -644,8 +660,7 @@ impl Vm {
             FaultBind::Local { slot } => {
                 let t = &mut self.threads[tid];
                 let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
-                *f
-                    .locals
+                *f.locals
                     .get_mut(slot as usize)
                     .ok_or(VmError::BadLocalSlot(slot))? = Value::Ref(local_id);
             }
@@ -653,9 +668,8 @@ impl Vm {
                 let obj = self.heap.get_mut(base)?;
                 match &mut obj.kind {
                     ObjKind::Obj { fields, .. } => {
-                        *fields
-                            .get_mut(field_idx)
-                            .ok_or(VmError::BadRef(base))? = Value::Ref(local_id);
+                        *fields.get_mut(field_idx).ok_or(VmError::BadRef(base))? =
+                            Value::Ref(local_id);
                     }
                     _ => return Err(VmError::BadRef(base)),
                 }
@@ -668,8 +682,7 @@ impl Vm {
                 self.classes[class_idx].statics[static_idx] = Value::Ref(local_id);
                 let t = &mut self.threads[tid];
                 let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
-                *f
-                    .locals
+                *f.locals
                     .get_mut(dest_slot as usize)
                     .ok_or(VmError::BadLocalSlot(dest_slot))? = Value::Ref(local_id);
             }
@@ -684,8 +697,7 @@ impl Vm {
                 self.heap.get_mut(base)?.dirty = false;
                 let t = &mut self.threads[tid];
                 let f = t.top_mut().ok_or(VmError::BadThread(tid))?;
-                *f
-                    .locals
+                *f.locals
                     .get_mut(dest_slot as usize)
                     .ok_or(VmError::BadLocalSlot(dest_slot))? = Value::Ref(local_id);
             }
@@ -1059,10 +1071,12 @@ impl Vm {
                             match v {
                                 Value::Null => None,
                                 Value::NulledRef(h) => Some((true, h)),
-                                Value::Ref(id) => match self.heap.get(id).ok().and_then(|o| o.home_id) {
-                                    Some(h) => Some((true, h)),
-                                    None => Some((false, id)),
-                                },
+                                Value::Ref(id) => {
+                                    match self.heap.get(id).ok().and_then(|o| o.home_id) {
+                                        Some(h) => Some((true, h)),
+                                        None => Some((false, id)),
+                                    }
+                                }
                                 _ => unreachable!("is_reference"),
                             }
                         };
@@ -1149,9 +1163,9 @@ impl Vm {
                         found: "array/string",
                     });
                 };
-                let target_ci =
-                    self.class_idx(class)
-                        .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
+                let target_ci = self
+                    .class_idx(class)
+                    .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
                 let fi = self.classes[target_ci]
                     .instance_field_idx(&fname)
                     .ok_or_else(|| VmError::FieldNotFound {
@@ -1193,12 +1207,12 @@ impl Vm {
                 let Some(target_ci) = self.class_idx(&cname) else {
                     return self.park_class_miss(tid, cname);
                 };
-                let fi = self.classes[target_ci]
-                    .static_field_idx(&fname)
-                    .ok_or_else(|| VmError::FieldNotFound {
+                let fi = self.classes[target_ci].static_field_idx(&fname).ok_or(
+                    VmError::FieldNotFound {
                         class: cname,
                         field: fname,
-                    })?;
+                    },
+                )?;
                 let v = self.classes[target_ci].statics[fi];
                 push!(v);
                 advance!()
@@ -1212,12 +1226,12 @@ impl Vm {
                     push!(v);
                     return self.park_class_miss(tid, cname);
                 };
-                let fi = self.classes[target_ci]
-                    .static_field_idx(&fname)
-                    .ok_or_else(|| VmError::FieldNotFound {
+                let fi = self.classes[target_ci].static_field_idx(&fname).ok_or(
+                    VmError::FieldNotFound {
                         class: cname,
                         field: fname,
-                    })?;
+                    },
+                )?;
                 self.classes[target_ci].statics[fi] = v;
                 advance!()
             }
@@ -1279,12 +1293,13 @@ impl Vm {
                 let Some(target_ci) = self.class_idx(&cname) else {
                     return self.park_class_miss(tid, cname);
                 };
-                let target_mi = self.classes[target_ci]
-                    .method_idx(&mname)
-                    .ok_or_else(|| VmError::MethodNotFound {
-                        class: cname,
-                        method: mname,
-                    })?;
+                let target_mi =
+                    self.classes[target_ci]
+                        .method_idx(&mname)
+                        .ok_or(VmError::MethodNotFound {
+                            class: cname,
+                            method: mname,
+                        })?;
                 self.push_callee_frame(tid, target_ci, target_mi, nargs)
             }
             InvokeVirtual(midx, nargs) => {
@@ -1303,12 +1318,13 @@ impl Vm {
                 let Some(target_ci) = self.class_idx(&cname) else {
                     return self.park_class_miss(tid, cname);
                 };
-                let target_mi = self.classes[target_ci]
-                    .method_idx(&mname)
-                    .ok_or_else(|| VmError::MethodNotFound {
-                        class: cname,
-                        method: mname,
-                    })?;
+                let target_mi =
+                    self.classes[target_ci]
+                        .method_idx(&mname)
+                        .ok_or(VmError::MethodNotFound {
+                            class: cname,
+                            method: mname,
+                        })?;
                 self.push_callee_frame(tid, target_ci, target_mi, nargs)
             }
             Ret => self.pop_frame(tid, None),
@@ -1339,13 +1355,13 @@ impl Vm {
                     Err(VmError::NullDeref) => {
                         // A null (or unfetched) reference reached a pure
                         // intrinsic: surface as a guest NPE.
-                        return self.throw_and_outcome(
+                        self.throw_and_outcome(
                             tid,
                             ExKind::NullPointer,
                             "null argument to intrinsic",
-                        );
+                        )
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => Err(e),
                     Ok(IntrinsicEval::Done(v)) => {
                         push!(v);
                         advance!()
@@ -1540,8 +1556,7 @@ impl Vm {
                     .get(slot as usize)
                     .ok_or(VmError::BadLocalSlot(slot))?;
                 let f = frame!();
-                *f
-                    .locals
+                *f.locals
                     .get_mut(slot as usize)
                     .ok_or(VmError::BadLocalSlot(slot))? = cap.to_nulled_value();
                 advance!()
@@ -1698,18 +1713,14 @@ mod tests {
     }
 
     fn main_class(code: Vec<Instr>, lines: Vec<u32>, extra_locals: u16) -> ClassDef {
-        ClassDef::new("Main").with_method(MethodDef::new("main", 0, extra_locals).with_code(code, lines))
+        ClassDef::new("Main")
+            .with_method(MethodDef::new("main", 0, extra_locals).with_code(code, lines))
     }
 
     #[test]
     fn arithmetic_and_return() {
         let c = main_class(
-            vec![
-                Instr::PushI(6),
-                Instr::PushI(7),
-                Instr::Mul,
-                Instr::RetV,
-            ],
+            vec![Instr::PushI(6), Instr::PushI(7), Instr::Mul, Instr::RetV],
             vec![1, 1, 1, 1],
             0,
         );
@@ -1783,12 +1794,10 @@ mod tests {
     fn static_and_virtual_calls() {
         // Helper.twice(x) = x*2 ; Main.main() = twice(10) + obj.one()
         let mut helper = ClassDef::new("Helper");
-        helper.methods.push(
-            MethodDef::new("twice", 1, 0).with_code(
-                vec![Instr::Load(0), Instr::PushI(2), Instr::Mul, Instr::RetV],
-                vec![1; 4],
-            ),
-        );
+        helper.methods.push(MethodDef::new("twice", 1, 0).with_code(
+            vec![Instr::Load(0), Instr::PushI(2), Instr::Mul, Instr::RetV],
+            vec![1; 4],
+        ));
         helper.methods.push(
             MethodDef::new("one", 1, 0) // virtual: receiver in slot 0
                 .with_code(vec![Instr::PushI(1), Instr::RetV], vec![1, 1]),
@@ -1797,19 +1806,17 @@ mod tests {
         let h = main.intern("Helper");
         let tw = main.intern("twice");
         let one = main.intern("one");
-        main.methods.push(
-            MethodDef::new("main", 0, 0).with_code(
-                vec![
-                    Instr::PushI(10),
-                    Instr::InvokeStatic(h, tw, 1),
-                    Instr::New(h),
-                    Instr::InvokeVirtual(one, 1),
-                    Instr::Add,
-                    Instr::RetV,
-                ],
-                vec![1; 6],
-            ),
-        );
+        main.methods.push(MethodDef::new("main", 0, 0).with_code(
+            vec![
+                Instr::PushI(10),
+                Instr::InvokeStatic(h, tw, 1),
+                Instr::New(h),
+                Instr::InvokeVirtual(one, 1),
+                Instr::Add,
+                Instr::RetV,
+            ],
+            vec![1; 6],
+        ));
         let mut vm = vm_with(&[helper, main]);
         let r = vm.run_to_completion("Main", "main", &[]).unwrap();
         assert_eq!(r, Some(Value::Int(21)));
@@ -1921,12 +1928,10 @@ mod tests {
     #[test]
     fn exception_unwinds_frames() {
         // Main calls Thrower.boom() which divides by zero; Main catches it.
-        let thrower = ClassDef::new("Thrower").with_method(
-            MethodDef::new("boom", 0, 0).with_code(
-                vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::RetV],
-                vec![1; 4],
-            ),
-        );
+        let thrower = ClassDef::new("Thrower").with_method(MethodDef::new("boom", 0, 0).with_code(
+            vec![Instr::PushI(1), Instr::PushI(0), Instr::Div, Instr::RetV],
+            vec![1; 4],
+        ));
         let mut main = ClassDef::new("Main");
         let t = main.intern("Thrower");
         let b = main.intern("boom");
@@ -1992,11 +1997,7 @@ mod tests {
         let fs = c.intern("fs_size");
         let path = c.intern("/data/file");
         c.methods.push(MethodDef::new("main", 0, 0).with_code(
-            vec![
-                Instr::PushStr(path),
-                Instr::NativeCall(fs, 1),
-                Instr::RetV,
-            ],
+            vec![Instr::PushStr(path), Instr::NativeCall(fs, 1), Instr::RetV],
             vec![1; 3],
         ));
         let mut vm = vm_with(&[c]);
@@ -2029,8 +2030,7 @@ mod tests {
         assert_eq!(out, StepOutcome::ClassMiss("Lazy".to_owned()));
         // Load the class and resume: instruction re-executes.
         let lazy_def = ClassDef::new("Lazy").with_method(
-            MethodDef::new("get", 0, 0)
-                .with_code(vec![Instr::PushI(9), Instr::RetV], vec![1, 1]),
+            MethodDef::new("get", 0, 0).with_code(vec![Instr::PushI(9), Instr::RetV], vec![1, 1]),
         );
         vm.load_class(&lazy_def).unwrap();
         vm.resume_class_loaded(tid).unwrap();
@@ -2040,11 +2040,7 @@ mod tests {
 
     #[test]
     fn breakpoint_hits_once() {
-        let c = main_class(
-            vec![Instr::PushI(1), Instr::RetV],
-            vec![1, 1],
-            0,
-        );
+        let c = main_class(vec![Instr::PushI(1), Instr::RetV], vec![1, 1], 0);
         let mut vm = vm_with(&[c]);
         let tid = vm.spawn("Main", "main", &[]).unwrap();
         vm.set_breakpoint(0, 0, 0);
@@ -2094,12 +2090,10 @@ mod tests {
     #[test]
     fn force_early_return_pops_and_delivers() {
         // main calls callee; we force-early-return the callee with 123.
-        let callee = ClassDef::new("Callee").with_method(
-            MethodDef::new("work", 0, 0).with_code(
-                vec![Instr::Goto(0)], // never returns on its own
-                vec![1],
-            ),
-        );
+        let callee = ClassDef::new("Callee").with_method(MethodDef::new("work", 0, 0).with_code(
+            vec![Instr::Goto(0)], // never returns on its own
+            vec![1],
+        ));
         let mut main = ClassDef::new("Main");
         let cal = main.intern("Callee");
         let work = main.intern("work");
@@ -2122,7 +2116,7 @@ mod tests {
     fn interp_mode_charges_more() {
         let code = vec![Instr::PushI(1), Instr::PushI(2), Instr::Add, Instr::RetV];
         let c = main_class(code.clone(), vec![1; 4], 0);
-        let mut vm1 = vm_with(&[c.clone()]);
+        let mut vm1 = vm_with(std::slice::from_ref(&c));
         vm1.run_to_completion("Main", "main", &[]).unwrap();
         let mut vm2 = vm_with(&[c]);
         vm2.interp_mode = true;
@@ -2133,7 +2127,7 @@ mod tests {
     #[test]
     fn cost_scale_applies() {
         let c = main_class(vec![Instr::PushI(1), Instr::RetV], vec![1, 1], 0);
-        let mut vm1 = vm_with(&[c.clone()]);
+        let mut vm1 = vm_with(std::slice::from_ref(&c));
         vm1.run_to_completion("Main", "main", &[]).unwrap();
         let mut vm2 = vm_with(&[c]);
         vm2.cost_scale_per_mille = 2000;
@@ -2168,21 +2162,25 @@ mod tests {
         let main_n = c.intern("Main");
         let f = c.intern("f");
         c.methods.push(MethodDef::new("main", 0, 0).with_code(
-            vec![Instr::PushI(5), Instr::InvokeStatic(main_n, f, 1), Instr::RetV],
+            vec![
+                Instr::PushI(5),
+                Instr::InvokeStatic(main_n, f, 1),
+                Instr::RetV,
+            ],
             vec![1; 3],
         ));
         c.methods.push(MethodDef::new("f", 1, 0).with_code(
             vec![
-                Instr::Load(0),          // 0
-                Instr::IfZ(Cmp::Ne, 3),  // 1: if n != 0 goto 3
-                Instr::Goto(8),          // 2  -> return 0 path
-                Instr::Load(0),          // 3
-                Instr::PushI(1),         // 4
-                Instr::Sub,              // 5
+                Instr::Load(0),                    // 0
+                Instr::IfZ(Cmp::Ne, 3),            // 1: if n != 0 goto 3
+                Instr::Goto(8),                    // 2  -> return 0 path
+                Instr::Load(0),                    // 3
+                Instr::PushI(1),                   // 4
+                Instr::Sub,                        // 5
                 Instr::InvokeStatic(main_n, f, 1), // 6
-                Instr::RetV,             // 7
-                Instr::PushI(0),         // 8
-                Instr::RetV,             // 9
+                Instr::RetV,                       // 7
+                Instr::PushI(0),                   // 8
+                Instr::RetV,                       // 9
             ],
             vec![1, 1, 1, 2, 2, 2, 2, 2, 3, 3],
         ));
@@ -2234,10 +2232,7 @@ mod tests {
     #[test]
     fn duplicate_class_rejected() {
         let c = main_class(vec![Instr::Ret], vec![1], 0);
-        let mut vm = vm_with(&[c.clone()]);
-        assert!(matches!(
-            vm.load_class(&c),
-            Err(VmError::DuplicateClass(_))
-        ));
+        let mut vm = vm_with(std::slice::from_ref(&c));
+        assert!(matches!(vm.load_class(&c), Err(VmError::DuplicateClass(_))));
     }
 }

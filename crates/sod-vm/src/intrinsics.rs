@@ -268,8 +268,13 @@ mod tests {
         let mut h = heap();
         let mut out = Vec::new();
         let s = Value::Ref(h.alloc_str("abcdef"));
-        let sub = match eval("str_sub", &[s, Value::Int(2), Value::Int(100)], &mut h, &mut out)
-            .unwrap()
+        let sub = match eval(
+            "str_sub",
+            &[s, Value::Int(2), Value::Int(100)],
+            &mut h,
+            &mut out,
+        )
+        .unwrap()
         {
             IntrinsicEval::Done(Value::Ref(id)) => id,
             _ => panic!(),

@@ -114,14 +114,24 @@ impl<'a> Tooling<'a> {
 
     /// `GetFrameCount`.
     pub fn get_frame_count(&mut self, tid: usize) -> VmResult<usize> {
-        self.c(jvmti::GET_FRAME_LOCATION_NS, internal::GET_FRAME_LOCATION_NS);
+        self.c(
+            jvmti::GET_FRAME_LOCATION_NS,
+            internal::GET_FRAME_LOCATION_NS,
+        );
         Ok(self.vm.thread(tid)?.frames.len())
     }
 
     /// `GetFrameLocation`: (class name, method name, pc) of frame `depth`,
     /// where depth 0 is the *top* frame (JVMTI convention).
-    pub fn get_frame_location(&mut self, tid: usize, depth: usize) -> VmResult<(String, String, u32)> {
-        self.c(jvmti::GET_FRAME_LOCATION_NS, internal::GET_FRAME_LOCATION_NS);
+    pub fn get_frame_location(
+        &mut self,
+        tid: usize,
+        depth: usize,
+    ) -> VmResult<(String, String, u32)> {
+        self.c(
+            jvmti::GET_FRAME_LOCATION_NS,
+            internal::GET_FRAME_LOCATION_NS,
+        );
         let t = self.vm.thread(tid)?;
         let n = t.frames.len();
         let f = t
@@ -157,7 +167,10 @@ impl<'a> Tooling<'a> {
     /// Number of local slots in frame `depth` (the JVMTI
     /// `GetLocalVariableTable` step).
     pub fn get_local_count(&mut self, tid: usize, depth: usize) -> VmResult<u16> {
-        self.c(jvmti::GET_FRAME_LOCATION_NS, internal::GET_FRAME_LOCATION_NS);
+        self.c(
+            jvmti::GET_FRAME_LOCATION_NS,
+            internal::GET_FRAME_LOCATION_NS,
+        );
         let t = self.vm.thread(tid)?;
         let n = t.frames.len();
         let f = t
@@ -179,7 +192,12 @@ impl<'a> Tooling<'a> {
 
     /// `SetStatic<Type>Field` (for restore); refs in captured values restore
     /// as null, per the SOD design.
-    pub fn set_static(&mut self, class_idx: usize, static_idx: usize, v: &CapturedValue) -> VmResult<()> {
+    pub fn set_static(
+        &mut self,
+        class_idx: usize,
+        static_idx: usize,
+        v: &CapturedValue,
+    ) -> VmResult<()> {
         self.c(jvmti::SET_STATIC_NS, internal::SET_STATIC_NS);
         let slot = self.vm.classes[class_idx]
             .statics
@@ -198,12 +216,8 @@ impl<'a> Tooling<'a> {
     /// Throw `InvalidStateException` into the thread (restoration driver).
     pub fn throw_invalid_state(&mut self, tid: usize) -> VmResult<()> {
         self.c(jvmti::THROW_INTO_NS, internal::RESTORE_FRAME_NS);
-        self.vm.throw_into(
-            tid,
-            crate::class::ExKind::InvalidState,
-            "restore",
-            false,
-        )
+        self.vm
+            .throw_into(tid, crate::class::ExKind::InvalidState, "restore", false)
     }
 
     /// `ForceEarlyReturn<type>`: used on the home node to pop the stale
@@ -239,10 +253,8 @@ mod tests {
             ],
             vec![1, 1, 2, 2, 2],
         ));
-        c.methods.push(MethodDef::new("f", 1, 0).with_code(
-            vec![Instr::Goto(0)],
-            vec![1],
-        ));
+        c.methods
+            .push(MethodDef::new("f", 1, 0).with_code(vec![Instr::Goto(0)], vec![1]));
         let mut vm = Vm::new();
         vm.load_class(&c).unwrap();
         let tid = vm.spawn("Main", "main", &[]).unwrap();
@@ -291,8 +303,13 @@ mod tests {
         let mut t = Tooling::new(&mut vm, ToolingPath::Jvmti);
         t.force_early_return(tid, Some(Value::Int(5))).unwrap();
         assert!(t.meter.ns >= jvmti::FORCE_EARLY_RETURN_NS);
-        let (out, _) = vm.run(tid, u64::MAX, crate::interp::RunMode::Normal).unwrap();
-        assert_eq!(out, crate::interp::StepOutcome::Returned(Some(Value::Int(5))));
+        let (out, _) = vm
+            .run(tid, u64::MAX, crate::interp::RunMode::Normal)
+            .unwrap();
+        assert_eq!(
+            out,
+            crate::interp::StepOutcome::Returned(Some(Value::Int(5)))
+        );
     }
 
     #[test]

@@ -316,9 +316,8 @@ pub fn extract_closure(heap: &Heap, id: ObjId) -> VmResult<Vec<WireObject>> {
 /// resolution and write-back. If a copy of the same home object already
 /// exists it is refreshed in place.
 pub fn install_object(heap: &mut Heap, obj: &WireObject) -> VmResult<ObjId> {
-    let conv = |vs: &[CapturedValue]| -> Vec<Value> {
-        vs.iter().map(|v| v.to_nulled_value()).collect()
-    };
+    let conv =
+        |vs: &[CapturedValue]| -> Vec<Value> { vs.iter().map(|v| v.to_nulled_value()).collect() };
     let kind = match &obj.body {
         WireObjBody::Obj { class, fields } => ObjKind::Obj {
             class: class.clone(),

@@ -37,11 +37,21 @@ pub fn search_class() -> ClassDef {
             m.line();
             m.label("noroam");
             // path = "/srv/" + i + "/doc.txt"
-            m.pushstr("/srv/").load("i").native("int_to_str", 1).native("str_concat", 2).store("p1");
+            m.pushstr("/srv/")
+                .load("i")
+                .native("int_to_str", 1)
+                .native("str_concat", 2)
+                .store("p1");
             m.line();
-            m.load("p1").pushstr("/doc.txt").native("str_concat", 2).store("path");
+            m.load("p1")
+                .pushstr("/doc.txt")
+                .native("str_concat", 2)
+                .store("path");
             m.line();
-            m.load("path").pushstr("beach").native("fs_search", 2).store("pos");
+            m.load("path")
+                .pushstr("beach")
+                .native("fs_search", 2)
+                .store("pos");
             m.line();
             m.load("pos").pushi(0).if_cmp(Cmp::Lt, "miss");
             m.line();
@@ -78,7 +88,9 @@ pub fn photo_server_class() -> ClassDef {
             m.line();
             m.load("phone").native("sod_move", 1).pop();
             m.line();
-            m.pushstr("/User/Media/DCIM/").native("fs_list", 1).store("photos");
+            m.pushstr("/User/Media/DCIM/")
+                .native("fs_list", 1)
+                .store("photos");
             m.line();
             m.load("photos").arrlen().store("count");
             m.line();
@@ -98,7 +110,10 @@ pub fn photo_server_class() -> ClassDef {
             m.line();
             m.load("phone").native("node_id", 0).pop().pop();
             m.line();
-            m.load("phone").pushi(0).invoke("Photo", "serve", 2).store("count");
+            m.load("phone")
+                .pushi(0)
+                .invoke("Photo", "serve", 2)
+                .store("count");
             m.line();
             m.load("req").native("sock_send", 1).pop();
             m.line();

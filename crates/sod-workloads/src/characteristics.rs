@@ -35,7 +35,9 @@ pub fn characterize(workload: &Workload) -> Characteristics {
 pub fn characterize_class(class: &ClassDef, workload: &Workload, n: i64) -> Characteristics {
     let mut vm = Vm::new();
     vm.load_class(class).unwrap();
-    let tid = vm.spawn(workload.class, workload.method, &[Value::Int(n)]).unwrap();
+    let tid = vm
+        .spawn(workload.class, workload.method, &[Value::Int(n)])
+        .unwrap();
     let mut peak_state_bytes = 0u64;
     loop {
         let (out, _) = vm
@@ -46,11 +48,8 @@ pub fn characterize_class(class: &ClassDef, workload: &Workload, n: i64) -> Char
         match out {
             sod_vm::interp::StepOutcome::Continue => continue,
             sod_vm::interp::StepOutcome::Returned(v) => {
-                let statics_bytes: u64 = vm
-                    .classes
-                    .iter()
-                    .map(|c| c.statics.len() as u64 * 8)
-                    .sum();
+                let statics_bytes: u64 =
+                    vm.classes.iter().map(|c| c.statics.len() as u64 * 8).sum();
                 let heap_static: u64 = vm
                     .classes
                     .iter()

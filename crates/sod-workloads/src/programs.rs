@@ -68,9 +68,17 @@ pub fn fib_class() -> ClassDef {
             m.line();
             m.load("n").pushi(2).if_cmp(Cmp::Lt, "base");
             m.line();
-            m.load("n").pushi(1).sub().invoke("Fib", "fib", 1).store("a");
+            m.load("n")
+                .pushi(1)
+                .sub()
+                .invoke("Fib", "fib", 1)
+                .store("a");
             m.line();
-            m.load("n").pushi(2).sub().invoke("Fib", "fib", 1).store("b");
+            m.load("n")
+                .pushi(2)
+                .sub()
+                .invoke("Fib", "fib", 1)
+                .store("b");
             m.line();
             m.load("a").load("b").add().retv();
             m.line();
@@ -183,7 +191,11 @@ pub fn fft_class() -> ClassDef {
             // The paper's FFT carries > 64 MB of static data; the grids
             // above are small at scaled sizes, so a ballast static array
             // supplies the bulk (n² × 1000 slots: 32 MB at n = 64).
-            m.load("nn").pushi(1000).mul().newarr().putstatic("FFT", "ballast");
+            m.load("nn")
+                .pushi(1000)
+                .mul()
+                .newarr()
+                .putstatic("FFT", "ballast");
             m.line();
             m.getstatic("FFT", "re").store("r");
             m.line();
@@ -274,7 +286,11 @@ pub fn fft_class() -> ClassDef {
             m.load("len").load("n").if_cmp(Cmp::Gt, "fftdone");
             m.line();
             // ang = -2*pi/len
-            m.pushf(-6.283185307179586).load("len").i2f().div().store("ang");
+            m.pushf(-std::f64::consts::TAU)
+                .load("len")
+                .i2f()
+                .div()
+                .store("ang");
             m.line();
             m.pushi(0).store("i");
             m.line();
@@ -284,7 +300,11 @@ pub fn fft_class() -> ClassDef {
             m.pushi(0).store("q");
             m.line();
             m.label("qloop");
-            m.load("q").load("len").pushi(1).shr().if_cmp(Cmp::Ge, "qdone");
+            m.load("q")
+                .load("len")
+                .pushi(1)
+                .shr()
+                .if_cmp(Cmp::Ge, "qdone");
             m.line();
             // w = exp(i*ang*q)
             m.load("ang").load("q").i2f().mul().store("phi");
@@ -307,9 +327,23 @@ pub fn fft_class() -> ClassDef {
             m.load("im").load("p1").aload().store("xi");
             m.line();
             // vr = xr*wr - xi*wi ; vi = xr*wi + xi*wr
-            m.load("xr").load("wr").mul().load("xi").load("wi").mul().sub().store("vr");
+            m.load("xr")
+                .load("wr")
+                .mul()
+                .load("xi")
+                .load("wi")
+                .mul()
+                .sub()
+                .store("vr");
             m.line();
-            m.load("xr").load("wi").mul().load("xi").load("wr").mul().add().store("vi");
+            m.load("xr")
+                .load("wi")
+                .mul()
+                .load("xi")
+                .load("wr")
+                .mul()
+                .add()
+                .store("vi");
             m.line();
             m.load("re").load("p0");
             m.load("ur").load("vr").add();
@@ -348,7 +382,11 @@ pub fn fft_class() -> ClassDef {
             m.label("rows");
             m.load("row").load("n").if_cmp(Cmp::Ge, "sum");
             m.line();
-            m.load("row").load("n").mul().invoke("FFT", "fft1d", 1).pop();
+            m.load("row")
+                .load("n")
+                .mul()
+                .invoke("FFT", "fft1d", 1)
+                .pop();
             m.line();
             m.load("row").pushi(1).add().store("row").goto("rows");
             m.line();
@@ -363,7 +401,13 @@ pub fn fft_class() -> ClassDef {
             m.label("sloop");
             m.load("i").load("nn").if_cmp(Cmp::Ge, "done");
             m.line();
-            m.load("acc").load("re").load("i").aload().native("fabs", 1).add().store("acc");
+            m.load("acc")
+                .load("re")
+                .load("i")
+                .aload()
+                .native("fabs", 1)
+                .add()
+                .store("acc");
             m.line();
             m.load("i").pushi(7).add().store("i").goto("sloop");
             m.line();
@@ -413,9 +457,13 @@ pub fn tsp_class() -> ClassDef {
         // search(city, visitedMask, cost, depth)
         .method("search", &["city", "mask", "cost", "depth"], |m| {
             m.line();
-            m.load("cost").getstatic("TSP", "best").if_cmp(Cmp::Ge, "prune");
+            m.load("cost")
+                .getstatic("TSP", "best")
+                .if_cmp(Cmp::Ge, "prune");
             m.line();
-            m.load("depth").getstatic("TSP", "n").if_cmp(Cmp::Lt, "expand");
+            m.load("depth")
+                .getstatic("TSP", "n")
+                .if_cmp(Cmp::Lt, "expand");
             m.line();
             // complete tour: best = min(best, cost)
             m.load("cost").putstatic("TSP", "best");
@@ -434,9 +482,19 @@ pub fn tsp_class() -> ClassDef {
             m.load("next").load("n").if_cmp(Cmp::Ge, "done");
             m.line();
             // if visited: skip
-            m.load("mask").load("next").shr().pushi(1).band().ifz(Cmp::Ne, "skip");
+            m.load("mask")
+                .load("next")
+                .shr()
+                .pushi(1)
+                .band()
+                .ifz(Cmp::Ne, "skip");
             m.line();
-            m.load("city").load("n").mul().load("next").add().store("idx");
+            m.load("city")
+                .load("n")
+                .mul()
+                .load("next")
+                .add()
+                .store("idx");
             m.line();
             m.load("d").load("idx").aload().store("step");
             m.line();
@@ -456,7 +514,12 @@ pub fn tsp_class() -> ClassDef {
             m.line();
             m.load("n").invoke("TSP", "init", 1).pop();
             m.line();
-            m.pushi(0).pushi(1).pushi(0).pushi(1).invoke("TSP", "search", 4).pop();
+            m.pushi(0)
+                .pushi(1)
+                .pushi(0)
+                .pushi(1)
+                .invoke("TSP", "search", 4)
+                .pop();
             m.line();
             m.getstatic("TSP", "best").retv();
         })

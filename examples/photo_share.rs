@@ -34,6 +34,9 @@ fn main() {
     sim.run();
     let r = sim.report(pid);
     println!("photos served : {:?}", r.result);
-    println!("migrations    : {} (to phone and back, per request)", r.migrations.len());
+    println!(
+        "migrations    : {} (to phone and back, per request)",
+        r.migrations.len()
+    );
     println!("total time    : {} ms", ns_to_ms_string(r.finished_at_ns));
 }

@@ -1,0 +1,7 @@
+//! Top-level package of the stack-on-demand reproduction workspace.
+//!
+//! This package exists to own the cross-crate integration tests in `tests/`
+//! and the runnable walkthroughs in `examples/`; the library surface lives
+//! in the [`sod`] facade crate, re-exported here for convenience.
+
+pub use sod::*;

@@ -33,7 +33,10 @@ fn jessica2_captures_faster_but_restores_slower_on_fft() {
 #[test]
 fn xen_latency_is_seconds() {
     let r = vm_live::simulate(&vm_live::PrecopyConfig::paper_testbed(400, 8));
-    assert!(r.total_ns > 2_000_000_000, "whole-OS migration takes seconds");
+    assert!(
+        r.total_ns > 2_000_000_000,
+        "whole-OS migration takes seconds"
+    );
     let (_, migs) = sod_bench::run_sodee(&WORKLOADS[0], true);
     assert!(r.total_ns > 50 * migs[0].latency_ns());
 }

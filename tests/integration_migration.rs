@@ -1,11 +1,11 @@
 //! End-to-end: every Table I workload completes correctly with and without
 //! a mid-run SOD migration, and the migrated result matches.
 
+use sod::net::{Topology, MS};
 use sod::preprocess::preprocess_sod;
 use sod::runtime::engine::{Cluster, SodSim};
 use sod::runtime::msg::MigrationPlan;
 use sod::runtime::node::{Node, NodeConfig};
-use sod::net::{Topology, MS};
 use sod::workloads::WORKLOADS;
 
 #[test]

@@ -2,12 +2,12 @@
 //! never changes its result.
 
 use proptest::prelude::*;
+use sod::net::Topology;
 use sod::net::US;
 use sod::preprocess::preprocess_sod;
 use sod::runtime::engine::{Cluster, SodSim};
 use sod::runtime::msg::MigrationPlan;
 use sod::runtime::node::{Node, NodeConfig};
-use sod::net::Topology;
 use sod::vm::value::Value;
 use sod::workloads::programs::fib_class;
 
@@ -25,7 +25,11 @@ fn run_fib(n: i64, migrate_at_us: Option<u64>, nframes: usize) -> Option<i64> {
         sim.migrate_at(at * US, pid, MigrationPlan::top_to(1, nframes));
     }
     sim.run();
-    assert!(sim.program(pid).error.is_none(), "{:?}", sim.program(pid).error);
+    assert!(
+        sim.program(pid).error.is_none(),
+        "{:?}",
+        sim.program(pid).error
+    );
     sim.report(pid).result
 }
 

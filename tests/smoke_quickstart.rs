@@ -1,0 +1,89 @@
+//! Smoke test: the `examples/quickstart.rs` flow as a `#[test]`, so the
+//! facade crate's public API (author → preprocess → deploy → migrate →
+//! report) is exercised by `cargo test` on every CI run.
+
+use sod::asm::builder::ClassBuilder;
+use sod::net::{Topology, MS};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::engine::{Cluster, SodSim};
+use sod::runtime::msg::MigrationPlan;
+use sod::runtime::node::{Node, NodeConfig};
+use sod::vm::instr::Cmp;
+use sod::vm::value::Value;
+
+/// The quickstart program: `work(n)` sums 0..n, `main(n)` calls it.
+fn quickstart_class() -> sod::vm::class::ClassDef {
+    ClassBuilder::new("App")
+        .method("work", &["n"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc").load("i").add().store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("App", "work", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .expect("valid program")
+}
+
+const N: i64 = 2_000_000;
+const EXPECTED: i64 = N * (N - 1) / 2;
+
+fn run(migrate: bool) -> sod::runtime::metrics::RunReport {
+    let class = preprocess_sod(&quickstart_class()).expect("preprocess");
+
+    let mut home = Node::new(NodeConfig::cluster("home"));
+    home.deploy(&class).unwrap();
+    home.stage(&class);
+    let worker = Node::new(NodeConfig::cluster("worker"));
+
+    let mut cluster = Cluster::new(vec![home, worker]);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(N)]);
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    if migrate {
+        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+    }
+    sim.run();
+    sim.report(pid).clone()
+}
+
+#[test]
+fn quickstart_offload_completes_with_correct_result() {
+    let r = run(true);
+    assert_eq!(r.result, Some(EXPECTED), "offloaded run computes the sum");
+    assert_eq!(r.migrations.len(), 1, "exactly one migration happened");
+    let m = &r.migrations[0];
+    assert!(m.capture_ns > 0, "capture cost is accounted");
+    assert!(
+        m.transfer_state_ns + m.transfer_class_ns > 0,
+        "transfer cost is accounted"
+    );
+    assert!(m.restore_ns > 0, "restore cost is accounted");
+    assert!(r.finished_at_ns > 0, "virtual clock advanced");
+}
+
+#[test]
+fn quickstart_migrated_run_matches_local_run() {
+    let local = run(false);
+    let migrated = run(true);
+    assert_eq!(local.result, Some(EXPECTED));
+    assert_eq!(
+        local.result, migrated.result,
+        "migration preserves the result"
+    );
+    assert!(local.migrations.is_empty(), "local run never migrates");
+}
