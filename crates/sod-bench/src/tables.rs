@@ -2,13 +2,12 @@
 
 use std::fmt::Write as _;
 
+use sod::scenario::{Plan, Preset, Scenario, When};
 use sod_asm::builder::ClassBuilder;
 use sod_baselines::{measure_workload, process_mig, thread_mig, vm_live, System};
-use sod_net::{ns_to_ms_string, ns_to_s_string, LinkSpec, Topology, MS};
+use sod_net::{ns_to_ms_string, ns_to_s_string, LinkSpec, MS};
 use sod_preprocess::{preprocess, preprocess_sod, Options};
-use sod_runtime::engine::{Cluster, SodSim};
-use sod_runtime::msg::{MigrationPlan, SegmentSpec};
-use sod_runtime::node::{Node, NodeConfig};
+use sod_runtime::node::NodeConfig;
 use sod_runtime::MigrationTimings;
 use sod_vm::class::ClassDef;
 use sod_vm::instr::Cmp;
@@ -46,28 +45,18 @@ pub fn run_sodee(w: &sod_workloads::Workload, migrate: bool) -> (u64, Vec<Migrat
         vm.run_to_completion(w.class, w.method, &w.args()).unwrap();
         vm.meter_ns
     };
-    let mut home = Node::new(NodeConfig::cluster("home"));
-    home.deploy(&class).unwrap();
-    home.stage(&class);
-    let worker = Node::new(NodeConfig::cluster("worker"));
-    let mut cluster = Cluster::new(vec![home, worker]);
-    let pid = cluster.add_program(0, w.class, w.method, w.args());
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
+    let mut scenario = Scenario::new()
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("worker", NodeConfig::cluster("worker"))
+        .program(w.class, w.method, w.args())
+        .on("home");
     if migrate {
-        sim.migrate_at((exec_ns / 3).max(MS), pid, MigrationPlan::top_to(1, 1));
+        scenario = scenario.migrate(When::At((exec_ns / 3).max(MS)), Plan::top_to("worker", 1));
     }
-    sim.run();
-    assert!(
-        sim.program(pid).error.is_none(),
-        "{}: {:?}",
-        w.name,
-        sim.program(pid).error
-    );
-    (
-        sim.report(pid).finished_at_ns,
-        sim.report(pid).migrations.clone(),
-    )
+    let report = scenario.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let r = report.first();
+    (r.finished_at_ns, r.migrations.clone())
 }
 
 /// Tables II + III: execution times with/without migration per system, and
@@ -249,41 +238,34 @@ pub fn table6() -> String {
         let mut cfg = NodeConfig::cluster("client");
         cfg.io_scan_ns_per_byte_x100 = 50 * io_factor;
         cfg.exec_scale_per_mille = (1000 * exec_scale) as u32;
-        let mut client = Node::new(cfg.clone());
-        client.deploy(&class).unwrap();
-        client.stage(&class);
-        client.fs.mount("/srv/", 1);
-        let mut server = Node::new(NodeConfig {
+        let server_cfg = NodeConfig {
             name: "server".into(),
-            ..cfg
-        });
+            ..cfg.clone()
+        };
+        // Serving node for all three paths is node 1 (the NFS server).
+        let mut scenario = Scenario::new()
+            .node("client", cfg)
+            .deploys(&class)
+            .mounts("/srv/", "server")
+            .node("server", server_cfg);
         for i in 0..3 {
-            server
-                .fs
-                .add_file(format!("/srv/{i}/doc.txt"), file_mb << 20, Some(7));
+            scenario = scenario.file(format!("/srv/{i}/doc.txt"), file_mb << 20, Some(7));
         }
-        // Serving node for all three paths is node 1.
-        let mut cluster = Cluster::new(vec![client, server]);
-        let pid = cluster.add_program(
-            0,
-            "Search",
-            "main",
-            vec![
-                Value::Int(3),
-                // < 0: migrate once to the NFS server and stay.
-                Value::Int(if migrate { -1 } else { 0 }),
-                Value::Int(1),
-            ],
-        );
-        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-        sim.start_program(0, pid);
-        sim.run();
-        assert!(
-            sim.program(pid).error.is_none(),
-            "{:?}",
-            sim.program(pid).error
-        );
-        sim.report(pid).finished_at_ns
+        let report = scenario
+            .program(
+                "Search",
+                "main",
+                vec![
+                    Value::Int(3),
+                    // < 0: migrate once to the NFS server and stay.
+                    Value::Int(if migrate { -1 } else { 0 }),
+                    Value::Int(1),
+                ],
+            )
+            .on("client")
+            .run()
+            .expect("table6 scenario completes");
+        report.first().finished_at_ns
     };
     // Roam target is `first_server + i`; with one server node we pass 1 and
     // clamp inside the engine (sod_move to an equal node is a no-op), so
@@ -324,20 +306,17 @@ pub fn table7() -> String {
          kbps  capture(ms)  transfer-state  transfer-class  restore  latency(ms)\n",
     );
     for kbps in [50u64, 128, 384, 764] {
-        let mut home = Node::new(NodeConfig::cluster("server"));
-        home.deploy(&class).unwrap();
-        home.stage(&class);
-        let device = Node::new(NodeConfig::device("phone"));
-        let mut cluster = Cluster::new(vec![home, device]);
-        let pid = cluster.add_program(0, w.class, w.method, vec![Value::Int(22)]);
-        let mut topo = Topology::gigabit_cluster(2);
-        topo.set_link(0, 1, LinkSpec::wifi_kbps(kbps));
-        let mut sim = SodSim::new(cluster, topo);
-        sim.start_program(0, pid);
-        sim.migrate_at(MS, pid, MigrationPlan::top_to(1, 2));
-        sim.run();
-        assert!(sim.program(pid).error.is_none());
-        let m = sim.report(pid).migrations[0];
+        let report = Scenario::new()
+            .node("server", NodeConfig::cluster("server"))
+            .deploys(&class)
+            .node("phone", NodeConfig::device("phone"))
+            .link("server", "phone", LinkSpec::wifi_kbps(kbps))
+            .program(w.class, w.method, vec![Value::Int(22)])
+            .on("server")
+            .migrate(When::At(MS), Plan::top_to("phone", 2))
+            .run()
+            .expect("table7 scenario completes");
+        let m = report.first().migrations[0];
         let _ = writeln!(
             out,
             "{:<5} {:<12} {:<15} {:<15} {:<8} {}",
@@ -355,40 +334,18 @@ pub fn table7() -> String {
 /// Fig. 1: the three execution paths, demonstrated on the same program.
 pub fn fig1() -> String {
     let w = &WORKLOADS[1]; // NQ: a real recursion
-    let scenarios: [(&str, MigrationPlan); 3] = [
+    let scenarios: [(&str, Plan); 3] = [
         (
             "(a) top frame out, control returns home",
-            MigrationPlan::top_to(1, 1),
+            Plan::top_to("n1", 1),
         ),
         (
             "(b) total migration: all frames to node 1",
-            MigrationPlan {
-                segments: vec![
-                    SegmentSpec {
-                        dest: 1,
-                        nframes: 1,
-                    },
-                    SegmentSpec {
-                        dest: 1,
-                        nframes: 64,
-                    },
-                ],
-            },
+            Plan::chain(&[("n1", 1), ("n1", 64)]),
         ),
         (
             "(c) workflow: top to node 1, residual to node 2",
-            MigrationPlan {
-                segments: vec![
-                    SegmentSpec {
-                        dest: 1,
-                        nframes: 1,
-                    },
-                    SegmentSpec {
-                        dest: 2,
-                        nframes: 64,
-                    },
-                ],
-            },
+            Plan::chain(&[("n1", 1), ("n2", 64)]),
         ),
     ];
     let mut out = String::from("FIG 1. ELASTIC EXECUTION PATHS (NQueens)\n");
@@ -400,19 +357,17 @@ pub fn fig1() -> String {
     };
     for (label, plan) in scenarios {
         let class = preprocess_sod(&(w.build)()).unwrap();
-        let mut home = Node::new(NodeConfig::cluster("home"));
-        home.deploy(&class).unwrap();
-        home.stage(&class);
-        let n1 = Node::new(NodeConfig::cluster("n1"));
-        let n2 = Node::new(NodeConfig::cluster("n2"));
-        let mut cluster = Cluster::new(vec![home, n1, n2]);
-        let pid = cluster.add_program(0, w.class, w.method, w.args());
-        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(3));
-        sim.start_program(0, pid);
-        sim.migrate_at((exec_ns / 3).max(MS), pid, plan);
-        sim.run();
-        assert!(sim.program(pid).error.is_none(), "{label}");
-        let r = sim.report(pid);
+        let report = Scenario::new()
+            .node("home", NodeConfig::cluster("home"))
+            .deploys(&class)
+            .node("n1", NodeConfig::cluster("n1"))
+            .node("n2", NodeConfig::cluster("n2"))
+            .program(w.class, w.method, w.args())
+            .on("home")
+            .migrate(When::At((exec_ns / 3).max(MS)), plan)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let r = report.first();
         let _ = writeln!(
             out,
             "{label}: result={:?} finish={} s, segments={}, faults={}",
@@ -431,51 +386,43 @@ pub fn roaming() -> String {
     let file_mb: u64 = 4; // paper: 300 MB each, scaled
     let run = |roam: bool| -> (u64, usize) {
         let class = preprocess_sod(&search_class()).unwrap();
-        let mut client = Node::new(NodeConfig::cluster("client"));
-        client.deploy(&class).unwrap();
-        client.stage(&class);
-        let mut nodes = vec![client];
+        let mut scenario = Scenario::new()
+            .topology(Preset::WanGrid)
+            .node("client", NodeConfig::cluster("client"))
+            .deploys(&class);
         for i in 0..nfiles {
-            let mut server = Node::new(NodeConfig::cluster(format!("srv{i}")));
-            server
-                .fs
-                .add_file(format!("/srv/{i}/doc.txt"), file_mb << 20, Some(9));
-            nodes.push(server);
+            scenario = scenario
+                .node(format!("srv{i}"), NodeConfig::cluster(format!("srv{i}")))
+                .file(format!("/srv/{i}/doc.txt"), file_mb << 20, Some(9));
         }
+        // Every node mounts every server's export so a roamed task can
+        // still resolve the next path. (A node never mounts itself: its
+        // own files resolve locally.)
         for i in 0..nfiles {
             let prefix = format!("/srv/{i}/");
-            nodes[0].fs.mount(prefix.clone(), i + 1);
-            // Every node mounts every other server so a roamed task can
-            // still resolve the next path.
+            let server = format!("srv{i}");
+            scenario = scenario.mount_on("client", &prefix, &server);
             for j in 0..nfiles {
                 if j != i {
-                    nodes[j + 1].fs.mount(prefix.clone(), i + 1);
+                    scenario = scenario.mount_on(format!("srv{j}"), &prefix, &server);
                 }
             }
         }
-        let mut cluster = Cluster::new(nodes);
-        let pid = cluster.add_program(
-            0,
-            "Search",
-            "main",
-            vec![
-                Value::Int(nfiles as i64),
-                Value::Int(roam as i64),
-                Value::Int(1),
-            ],
-        );
-        let mut sim = SodSim::new(cluster, Topology::wan_grid(nfiles + 1));
-        sim.start_program(0, pid);
-        sim.run();
-        assert!(
-            sim.program(pid).error.is_none(),
-            "{:?}",
-            sim.program(pid).error
-        );
-        (
-            sim.report(pid).finished_at_ns,
-            sim.report(pid).migrations.len(),
-        )
+        let report = scenario
+            .program(
+                "Search",
+                "main",
+                vec![
+                    Value::Int(nfiles as i64),
+                    Value::Int(roam as i64),
+                    Value::Int(1),
+                ],
+            )
+            .on("client")
+            .run()
+            .expect("roaming scenario completes");
+        let r = report.first();
+        (r.finished_at_ns, r.migrations.len())
     };
     let (no_mig, _) = run(false);
     let (roamed, hops) = run(true);

@@ -46,6 +46,7 @@ use crate::msg::{
     FsOp, HostReply, MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, SessionId,
 };
 use crate::node::Node;
+use crate::trigger::{ArmedTrigger, Trigger};
 
 /// Worker-created objects are flushed home under temporary ids at/above
 /// this base until the home node assigns master ids.
@@ -79,9 +80,14 @@ pub struct Program {
     pub done: bool,
     pub error: Option<String>,
     pub fetch_policy: FetchPolicy,
-    /// Exception-driven offload: on an unhandled `OutOfMemoryError`, roll
-    /// back to the statement start and migrate the whole stack there.
-    pub oom_offload_to: Option<usize>,
+    /// Armed migration policies, evaluated at migration-safe points (see
+    /// [`crate::trigger`]). `Trigger::OnOom` generalizes the old
+    /// `oom_offload_to` field: exception-driven offload is
+    /// `ArmedTrigger::new(Trigger::OnOom { to })`.
+    pub triggers: Vec<ArmedTrigger>,
+    /// Execution slices consumed by the root thread on its home node
+    /// (the `OnCpuSliceBudget` measure).
+    pub slices_run: u64,
     pending_plan: Option<MigrationPlan>,
     /// The home thread's stack is frozen while its top segment executes
     /// remotely; stale run slices must not wake it.
@@ -188,13 +194,54 @@ impl Cluster {
             done: false,
             error: None,
             fetch_policy: FetchPolicy::Shallow,
-            oom_offload_to: None,
+            triggers: Vec::new(),
+            slices_run: 0,
             pending_plan: None,
             suspended: false,
             t_request: 0,
             staged: Vec::new(),
         });
         (self.programs.len() - 1) as ProgramId
+    }
+
+    /// Arm a migration policy on `program` (evaluated at migration-safe
+    /// points; see [`crate::trigger`]).
+    pub fn arm_trigger(&mut self, program: ProgramId, trigger: ArmedTrigger) {
+        self.programs[program as usize].triggers.push(trigger);
+    }
+
+    /// Evaluate the program's armed policy triggers against its current
+    /// counters; the first satisfied trigger installs its plan (one
+    /// migration at a time — the rest re-evaluate after control returns).
+    fn check_policy_triggers(&mut self, program: ProgramId, now: u64) {
+        let p = &mut self.programs[program as usize];
+        if p.done || p.suspended || p.pending_plan.is_some() {
+            return;
+        }
+        let faults = p.report.object_faults;
+        let slices = p.slices_run;
+        for t in p.triggers.iter_mut().filter(|t| !t.fired) {
+            let satisfied = match t.trigger {
+                Trigger::At(ns) => now >= ns,
+                // OnOom fires where the exception surfaces, not here.
+                Trigger::OnOom { .. } => false,
+                Trigger::OnObjectFaults { threshold, .. } => faults >= threshold,
+                Trigger::OnCpuSliceBudget { slices: budget, .. } => slices >= budget,
+            };
+            if !satisfied {
+                continue;
+            }
+            let Some(plan) = t.effective_plan() else {
+                // At armed without a plan: nowhere to go. Retire it so the
+                // dead trigger is not re-walked on every future slice.
+                t.fired = true;
+                continue;
+            };
+            t.fired = true;
+            p.pending_plan = Some(plan);
+            p.t_request = now;
+            return;
+        }
     }
 
     fn alloc_session(&mut self) -> SessionId {
@@ -222,10 +269,17 @@ impl Cluster {
         }
         let owner_pending = match self.thread_owner.get(&(node, tid)) {
             Some(Owner::Root(p)) => {
-                if self.programs[*p as usize].suspended {
+                let program = *p;
+                if self.programs[program as usize].suspended {
                     return; // frozen while the segment executes remotely
                 }
-                self.programs[*p as usize].pending_plan.is_some()
+                // Policy-driven migration: charge this slice against the
+                // program's CPU budget and evaluate armed triggers. A
+                // trigger that fires installs a pending plan, so this very
+                // slice already runs in stop-at-MSP mode.
+                self.programs[program as usize].slices_run += 1;
+                self.check_policy_triggers(program, ctx.now());
+                self.programs[program as usize].pending_plan.is_some()
             }
             Some(Owner::Worker(s)) => self
                 .sessions
@@ -719,11 +773,22 @@ impl Cluster {
     ) {
         if let Some(Owner::Root(p)) = self.thread_owner.get(&(node, tid)) {
             let program = *p;
-            let offload = self.programs[program as usize].oom_offload_to;
             if e.kind == ExKind::OutOfMemory {
+                // Exception-driven offload (`Trigger::OnOom`): roll the
+                // faulting statement back and push the whole stack to the
+                // armed destination, so the allocation retries there.
+                let offload = self.programs[program as usize]
+                    .triggers
+                    .iter_mut()
+                    .find(|t| !t.fired && matches!(t.trigger, Trigger::OnOom { .. }))
+                    .map(|t| {
+                        t.fired = true;
+                        match t.trigger {
+                            Trigger::OnOom { to } => to,
+                            _ => unreachable!(),
+                        }
+                    });
                 if let Some(cloud) = offload {
-                    // Exception-driven offload: roll the faulting statement
-                    // back and push the whole stack to the cloud.
                     let height = self.nodes[node].vm.thread(tid).unwrap().frames.len();
                     rollback_to_statement_start(&mut self.nodes[node].vm, tid);
                     self.programs[program as usize].pending_plan =
@@ -1731,6 +1796,11 @@ impl SodSim {
     pub fn migrate_at(&mut self, at: u64, program: ProgramId, plan: MigrationPlan) {
         let home = self.sim.world.programs[program as usize].home;
         self.sim.inject(at, home, Msg::MigrateNow { program, plan });
+    }
+
+    /// Arm a policy trigger on a registered program (see [`crate::trigger`]).
+    pub fn arm_trigger(&mut self, program: ProgramId, trigger: ArmedTrigger) {
+        self.sim.world.arm_trigger(program, trigger);
     }
 
     /// Inject a client request into a photo-server node.

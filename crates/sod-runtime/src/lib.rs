@@ -22,6 +22,22 @@
 //! workspace root for the substitution map (what the paper ran on real
 //! hardware vs. what is simulated here, and why the shapes carry over).
 //!
+//! ## Migration policies
+//!
+//! Migrations are requested two ways: a driver-injected `MigrateNow`
+//! event ([`SodSim::migrate_at`], the paper's scripted experiments), or a
+//! policy [`Trigger`] armed on the program
+//! ([`Cluster::arm_trigger`]/[`SodSim::arm_trigger`]) — time reached,
+//! `OutOfMemoryError` raised, object-fault threshold crossed, or CPU
+//! slice budget exhausted. Either way the request only *takes effect at a
+//! migration-safe point*: the thread switches to stop-at-MSP execution
+//! and capture happens at the next safe point, so policy-driven runs are
+//! exactly as deterministic as scripted ones. The [`trigger`] module
+//! documents the precise evaluation rules (slice-boundary checks, the
+//! frozen-stack window, one-shot firing). Most callers should express
+//! policies through the `sod` facade's `scenario` builder instead of
+//! arming triggers by hand.
+//!
 //! ## Example: offload a computation and get it back
 //!
 //! ```
@@ -67,7 +83,10 @@
 //! let pid = cluster.add_program(0, "App", "main", vec![Value::Int(500_000)]);
 //! let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
 //! sim.start_program(0, pid);
-//! // Push the top frame (work) to node 1 shortly after start.
+//! // Push the top frame (work) to node 1 shortly after start. The
+//! // policy-driven equivalent would be, e.g.:
+//! //   sim.arm_trigger(pid, ArmedTrigger::new(
+//! //       Trigger::OnCpuSliceBudget { slices: 20, to: 1 }));
 //! sim.migrate_at(sod_net::MS, pid, MigrationPlan::top_to(1, 1));
 //! sim.run();
 //! let report = sim.report(pid);
@@ -81,8 +100,10 @@ pub mod fs;
 pub mod metrics;
 pub mod msg;
 pub mod node;
+pub mod trigger;
 
 pub use engine::{Cluster, FetchPolicy, SodSim};
 pub use metrics::{MigrationTimings, RunReport};
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};
+pub use trigger::{ArmedTrigger, Trigger};

@@ -32,7 +32,11 @@ impl MigrationTimings {
 }
 
 /// Outcome of one program run under the simulator.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field, so two reports are equal only when
+/// the runs were byte-identical in result *and* cost accounting — the
+/// property the scenario-equivalence tests pin.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Virtual completion time of the program (home node observes it).
     pub finished_at_ns: u64,

@@ -42,6 +42,30 @@ impl MigrationPlan {
         }
     }
 
+    /// A multi-segment plan from `(dest, nframes)` pairs, topmost segment
+    /// first. One pair is Fig. 1a; several pairs to one node are Fig. 1b
+    /// (total migration); several pairs to different nodes are Fig. 1c
+    /// (multi-domain workflow).
+    pub fn chain(segments: &[(usize, usize)]) -> Self {
+        MigrationPlan {
+            segments: segments
+                .iter()
+                .map(|&(dest, nframes)| SegmentSpec { dest, nframes })
+                .collect(),
+        }
+    }
+
+    /// Sentinel frame count meaning "however many frames remain": the
+    /// engine clamps every segment to the live stack height, so a segment
+    /// requesting this many frames always absorbs the residual stack.
+    pub const WHOLE_STACK_FRAMES: usize = usize::MAX / 2;
+
+    /// Total migration (Fig. 1b): the top frame plus the whole residual
+    /// stack both go to `dest`, so execution continues there.
+    pub fn whole_stack_to(dest: usize) -> Self {
+        MigrationPlan::chain(&[(dest, 1), (dest, Self::WHOLE_STACK_FRAMES)])
+    }
+
     /// Total frames requested (may exceed the stack height, which clamps).
     pub fn total_frames(&self) -> usize {
         self.segments.iter().map(|s| s.nframes).sum()
@@ -212,18 +236,39 @@ mod tests {
         let p = MigrationPlan::top_to(3, 2);
         assert_eq!(p.segments.len(), 1);
         assert_eq!(p.total_frames(), 2);
-        let w = MigrationPlan {
-            segments: vec![
-                SegmentSpec {
-                    dest: 1,
-                    nframes: 1,
-                },
-                SegmentSpec {
-                    dest: 2,
-                    nframes: 2,
-                },
-            ],
-        };
+        let w = MigrationPlan::chain(&[(1, 1), (2, 2)]);
         assert_eq!(w.total_frames(), 3);
+    }
+
+    #[test]
+    fn chain_matches_literal_segments() {
+        assert_eq!(
+            MigrationPlan::chain(&[(1, 1), (2, 2)]),
+            MigrationPlan {
+                segments: vec![
+                    SegmentSpec {
+                        dest: 1,
+                        nframes: 1,
+                    },
+                    SegmentSpec {
+                        dest: 2,
+                        nframes: 2,
+                    },
+                ],
+            }
+        );
+        // One pair degenerates to `top_to`.
+        assert_eq!(MigrationPlan::chain(&[(4, 7)]), MigrationPlan::top_to(4, 7));
+        assert!(MigrationPlan::chain(&[]).segments.is_empty());
+    }
+
+    #[test]
+    fn whole_stack_covers_any_height() {
+        let p = MigrationPlan::whole_stack_to(1);
+        assert_eq!(p.segments.len(), 2);
+        assert!(p.segments.iter().all(|s| s.dest == 1));
+        // The residual segment's frame count clamps to the stack height,
+        // so it must exceed any realistic stack.
+        assert!(p.segments[1].nframes > 1 << 20);
     }
 }

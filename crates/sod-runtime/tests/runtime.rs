@@ -1,13 +1,17 @@
 //! Integration tests for the SODEE runtime: the paper's execution patterns
 //! (Fig. 1a/b/c), object faulting across nodes, roaming, exception-driven
 //! offload, NFS locality, and device-profile migrations.
+//!
+//! All scenarios are described through the `sod::scenario` builder (the
+//! facade crate is a dev-dependency); engine-level wiring is covered by
+//! `tests/triggers.rs` and the unit tests in `src/`.
 
+use sod::scenario::{Plan, Scenario, When};
 use sod_asm::builder::ClassBuilder;
-use sod_net::{LinkSpec, Topology, MS, SEC};
+use sod_net::{LinkSpec, MS, SEC};
 use sod_preprocess::preprocess_sod;
-use sod_runtime::engine::{Cluster, SodSim};
-use sod_runtime::msg::{MigrationPlan, SegmentSpec};
-use sod_runtime::node::{Node, NodeConfig};
+use sod_runtime::node::NodeConfig;
+use sod_runtime::FetchPolicy;
 use sod_vm::class::ClassDef;
 use sod_vm::instr::Cmp;
 use sod_vm::value::{TypeOf, Value};
@@ -58,30 +62,26 @@ fn expected(n: i64) -> i64 {
     (0..n).sum::<i64>() + 5
 }
 
-fn cluster_of(n_nodes: usize, class: &ClassDef) -> Cluster {
-    let mut nodes = Vec::new();
+/// `n0` holds the application; workers receive classes on demand.
+fn scenario_of(n_nodes: usize, class: &ClassDef) -> Scenario {
+    let mut sc = Scenario::new();
     for i in 0..n_nodes {
-        let mut node = Node::new(NodeConfig::cluster(format!("n{i}")));
+        sc = sc.node(format!("n{i}"), NodeConfig::cluster(format!("n{i}")));
         if i == 0 {
-            node.deploy(class).unwrap();
-        } else {
-            // Workers receive classes on demand; nothing preloaded.
+            sc = sc.deploys(class);
         }
-        nodes.push(node);
     }
-    nodes[0].stage(class);
-    Cluster::new(nodes)
+    sc
 }
 
 #[test]
 fn no_migration_baseline() {
     let class = app_class();
-    let mut cluster = cluster_of(2, &class);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(100_000)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
-    sim.run();
-    let r = sim.report(pid);
+    let report = scenario_of(2, &class)
+        .program("App", "main", vec![Value::Int(100_000)])
+        .run()
+        .unwrap();
+    let r = report.first();
     assert_eq!(r.result, Some(expected(100_000)));
     assert!(r.migrations.is_empty());
     assert_eq!(r.object_faults, 0);
@@ -92,19 +92,12 @@ fn no_migration_baseline() {
 fn fig1a_top_segment_returns_home() {
     let class = app_class();
     let n = 1_000_000i64;
-    let mut cluster = cluster_of(2, &class);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
-    sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
-    sim.run();
-    let r = sim.report(pid);
-    assert_eq!(
-        sim.program(pid).error,
-        None,
-        "program failed: {:?}",
-        sim.program(pid).error
-    );
+    let report = scenario_of(2, &class)
+        .program("App", "main", vec![Value::Int(n)])
+        .migrate(When::At(2 * MS), Plan::top_to("n1", 1))
+        .run()
+        .unwrap();
+    let r = report.first();
     assert_eq!(r.result, Some(expected(n)));
     assert_eq!(r.migrations.len(), 1);
     let m = &r.migrations[0];
@@ -123,32 +116,15 @@ fn fig1a_top_segment_returns_home() {
 fn fig1b_total_migration_continues_at_dest() {
     let class = app_class();
     let n = 1_000_000i64;
-    let mut cluster = cluster_of(2, &class);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
     // Both frames (work + main) leave in one plan: top frame to node 1 and
     // the residual frame also to node 1 (restore-ahead), i.e. a total
     // migration: after `work` pops, execution continues on node 1.
-    sim.migrate_at(
-        2 * MS,
-        pid,
-        MigrationPlan {
-            segments: vec![
-                SegmentSpec {
-                    dest: 1,
-                    nframes: 1,
-                },
-                SegmentSpec {
-                    dest: 1,
-                    nframes: 8,
-                },
-            ],
-        },
-    );
-    sim.run();
-    let r = sim.report(pid);
-    assert_eq!(sim.program(pid).error, None);
+    let report = scenario_of(2, &class)
+        .program("App", "main", vec![Value::Int(n)])
+        .migrate(When::At(2 * MS), Plan::chain(&[("n1", 1), ("n1", 8)]))
+        .run()
+        .unwrap();
+    let r = report.first();
     assert_eq!(r.result, Some(expected(n)));
     assert_eq!(r.migrations.len(), 2, "two segments shipped");
 }
@@ -157,30 +133,13 @@ fn fig1b_total_migration_continues_at_dest() {
 fn fig1c_workflow_three_nodes() {
     let class = app_class();
     let n = 1_000_000i64;
-    let mut cluster = cluster_of(3, &class);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(3));
-    sim.start_program(0, pid);
     // Top frame to node 1; residual to node 2; control flows 0 → 1 → 2 → 0.
-    sim.migrate_at(
-        2 * MS,
-        pid,
-        MigrationPlan {
-            segments: vec![
-                SegmentSpec {
-                    dest: 1,
-                    nframes: 1,
-                },
-                SegmentSpec {
-                    dest: 2,
-                    nframes: 8,
-                },
-            ],
-        },
-    );
-    sim.run();
-    let r = sim.report(pid);
-    assert_eq!(sim.program(pid).error, None);
+    let report = scenario_of(3, &class)
+        .program("App", "main", vec![Value::Int(n)])
+        .migrate(When::At(2 * MS), Plan::chain(&[("n1", 1), ("n2", 8)]))
+        .run()
+        .unwrap();
+    let r = report.first();
     assert_eq!(r.result, Some(expected(n)));
     assert_eq!(r.migrations.len(), 2);
 }
@@ -191,16 +150,13 @@ fn migration_overhead_is_modest() {
     let class = app_class();
     let n = 4_000_000i64;
     let run = |migrate: bool| -> u64 {
-        let mut cluster = cluster_of(2, &class);
-        let pid = cluster.add_program(0, "App", "main", vec![Value::Int(n)]);
-        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-        sim.start_program(0, pid);
+        let mut sc = scenario_of(2, &class).program("App", "main", vec![Value::Int(n)]);
         if migrate {
-            sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+            sc = sc.migrate(When::At(2 * MS), Plan::top_to("n1", 1));
         }
-        sim.run();
-        assert_eq!(sim.report(pid).result, Some(expected(n)));
-        sim.report(pid).finished_at_ns
+        let report = sc.run().unwrap();
+        assert_eq!(report.first().result, Some(expected(n)));
+        report.first().finished_at_ns
     };
     let plain = run(false);
     let migrated = run(true);
@@ -241,14 +197,12 @@ fn roaming_hops_across_nodes() {
         .build()
         .unwrap();
     let class = preprocess_sod(&c).unwrap();
-    let mut cluster = cluster_of(3, &class);
-    let pid = cluster.add_program(0, "Roam", "main", vec![]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(3));
-    sim.start_program(0, pid);
-    // First hop is requested by the program itself via sod_move.
-    sim.run();
-    let r = sim.report(pid);
-    assert_eq!(sim.program(pid).error, None);
+    // The first hop is requested by the program itself via sod_move.
+    let report = scenario_of(3, &class)
+        .program("Roam", "main", vec![])
+        .run()
+        .unwrap();
+    let r = report.first();
     // acc = node_id(1) + node_id(2) = 3 — proves the code really ran on
     // nodes 1 and 2.
     assert_eq!(r.result, Some(3));
@@ -257,7 +211,8 @@ fn roaming_hops_across_nodes() {
 
 #[test]
 fn exception_driven_offload_to_cloud() {
-    // The device cannot allocate a 2M-element array; the cloud can.
+    // The device cannot allocate a 2M-element array; the cloud can. The
+    // rescue is a declarative policy: `When::OnOom`.
     let c = ClassBuilder::new("Big")
         .method("alloc", &["n"], |m| {
             m.line();
@@ -275,22 +230,18 @@ fn exception_driven_offload_to_cloud() {
         .unwrap();
     let class = preprocess_sod(&c).unwrap();
 
-    let mut cfg = NodeConfig::device("phone");
-    cfg.mem_limit = Some(4 << 20); // 4 MB heap: the 16 MB array cannot fit
-    let mut device = Node::new(cfg);
-    device.deploy(&class).unwrap();
-    device.stage(&class);
-    let cloud = Node::new(NodeConfig::cloud("cloud"));
-    let mut cluster = Cluster::new(vec![device, cloud]);
-    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(2_000_000)]);
-    cluster.programs[pid as usize].oom_offload_to = Some(1);
-    let mut topo = Topology::gigabit_cluster(2);
-    topo.set_link(0, 1, LinkSpec::wifi_kbps(764));
-    let mut sim = SodSim::new(cluster, topo);
-    sim.start_program(0, pid);
-    sim.run();
-    let r = sim.report(pid);
-    assert_eq!(sim.program(pid).error, None, "offload must rescue the OOM");
+    let mut phone = NodeConfig::device("phone");
+    phone.mem_limit = Some(4 << 20); // 4 MB heap: the 16 MB array cannot fit
+    let report = Scenario::new()
+        .node("phone", phone)
+        .deploys(&class)
+        .node("cloud", NodeConfig::cloud("cloud"))
+        .link("phone", "cloud", LinkSpec::wifi_kbps(764))
+        .program("Big", "main", vec![Value::Int(2_000_000)])
+        .migrate(When::OnOom, Plan::whole_stack_to("cloud"))
+        .run()
+        .expect("offload must rescue the OOM");
+    let r = report.first();
     assert_eq!(r.result, Some(2_000_000));
     assert_eq!(r.migrations.len(), 1);
 }
@@ -299,74 +250,42 @@ fn exception_driven_offload_to_cloud() {
 fn nfs_locality_improves_with_migration() {
     // Paper Table VI: a document search reads a large file over NFS;
     // migrating to the file server makes the read local.
-    let c = ClassBuilder::new("Search")
-        .method("main", &[], |m| {
+    let search = |hint: bool| -> ClassDef {
+        let mut b = ClassBuilder::new("Search");
+        b = b.method("main", &[], move |m| {
             m.line();
-            m.pushi(1).native("sod_move", 1).pop();
-            m.line();
+            if hint {
+                m.pushi(1).native("sod_move", 1).pop();
+                m.line();
+            }
             m.pushstr("/srv/data/doc.txt")
                 .pushstr("beach")
                 .native("fs_search", 2)
                 .store("pos");
             m.line();
             m.load("pos").retv();
-        })
-        .build()
-        .unwrap();
-    let class = preprocess_sod(&c).unwrap();
-
-    let run = |migrate: bool| -> (u64, Option<i64>) {
-        let mut client = Node::new(NodeConfig::cluster("client"));
-        client.deploy(&class).unwrap();
-        client.stage(&class);
-        client.fs.mount("/srv/", 1);
-        let mut server = Node::new(NodeConfig::cluster("server"));
-        server
-            .fs
-            .add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
-        let mut cluster = Cluster::new(vec![client, server]);
-        let pid = cluster.add_program(0, "Search", "main", vec![]);
-        if !migrate {
-            // Strip the sod_move by... running as-is still moves; instead
-            // emulate no-migration by retargeting the hint to node 0.
-        }
-        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-        sim.start_program(0, pid);
-        sim.run();
-        (sim.report(pid).finished_at_ns, sim.report(pid).result)
+        });
+        preprocess_sod(&b.build().unwrap()).unwrap()
     };
-    // With the hint the search runs on the server (local disk read).
-    let (with_mig, r1) = run(true);
+
+    let run = |class: &ClassDef| -> (u64, Option<i64>) {
+        let report = Scenario::new()
+            .node("client", NodeConfig::cluster("client"))
+            .deploys(class)
+            .mounts("/srv/", "server")
+            .node("server", NodeConfig::cluster("server"))
+            .file("/srv/data/doc.txt", 64 << 20, Some(1234))
+            .program("Search", "main", vec![])
+            .run()
+            .unwrap();
+        (report.first().finished_at_ns, report.first().result)
+    };
+    // With the hint the search runs on the server (local disk read);
+    // without it the same bytes cross the network.
+    let (with_mig, r1) = run(&search(true));
     assert_eq!(r1, Some(1234));
-    // Without migration the same bytes cross the network: build a variant
-    // program without the move hint.
-    let c2 = ClassBuilder::new("Search")
-        .method("main", &[], |m| {
-            m.line();
-            m.pushstr("/srv/data/doc.txt")
-                .pushstr("beach")
-                .native("fs_search", 2)
-                .store("pos");
-            m.line();
-            m.load("pos").retv();
-        })
-        .build()
-        .unwrap();
-    let class2 = preprocess_sod(&c2).unwrap();
-    let mut client = Node::new(NodeConfig::cluster("client"));
-    client.deploy(&class2).unwrap();
-    client.fs.mount("/srv/", 1);
-    let mut server = Node::new(NodeConfig::cluster("server"));
-    server
-        .fs
-        .add_file("/srv/data/doc.txt", 64 << 20, Some(1234));
-    let mut cluster = Cluster::new(vec![client, server]);
-    let pid = cluster.add_program(0, "Search", "main", vec![]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
-    sim.run();
-    let no_mig = sim.report(pid).finished_at_ns;
-    assert_eq!(sim.report(pid).result, Some(1234));
+    let (no_mig, r2) = run(&search(false));
+    assert_eq!(r2, Some(1234));
     assert!(
         with_mig < no_mig,
         "locality should win: with={with_mig} without={no_mig}"
@@ -380,20 +299,16 @@ fn device_migration_latency_grows_as_bandwidth_shrinks() {
     let class = app_class();
     let mut results = Vec::new();
     for kbps in [50u64, 128, 384, 764] {
-        let mut home = Node::new(NodeConfig::cluster("server"));
-        home.deploy(&class).unwrap();
-        home.stage(&class);
-        let device = Node::new(NodeConfig::device("phone"));
-        let mut cluster = Cluster::new(vec![home, device]);
-        let pid = cluster.add_program(0, "App", "main", vec![Value::Int(2_000_000)]);
-        let mut topo = Topology::gigabit_cluster(2);
-        topo.set_link(0, 1, LinkSpec::wifi_kbps(kbps));
-        let mut sim = SodSim::new(cluster, topo);
-        sim.start_program(0, pid);
-        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
-        sim.run();
-        let r = sim.report(pid);
-        assert_eq!(sim.program(pid).error, None, "kbps={kbps}");
+        let report = Scenario::new()
+            .node("server", NodeConfig::cluster("server"))
+            .deploys(&class)
+            .node("phone", NodeConfig::device("phone"))
+            .link("server", "phone", LinkSpec::wifi_kbps(kbps))
+            .program("App", "main", vec![Value::Int(2_000_000)])
+            .migrate(When::At(2 * MS), Plan::top_to("phone", 1))
+            .run()
+            .unwrap_or_else(|e| panic!("kbps={kbps}: {e}"));
+        let r = report.first();
         assert_eq!(r.result, Some(expected(2_000_000)));
         assert_eq!(r.migrations.len(), 1);
         results.push((kbps, r.migrations[0]));
@@ -415,11 +330,7 @@ fn device_migration_latency_grows_as_bandwidth_shrinks() {
     // Portable capture path (no JVMTI at dest) is much slower than JVMTI
     // capture on the cluster (Table VII ~14 ms vs ~0.4 ms).
     assert!(results[0].1.capture_ns > 5 * MS);
-    assert!(sim_total_under(&results, 60 * SEC));
-}
-
-fn sim_total_under(results: &[(u64, sod_runtime::MigrationTimings)], cap: u64) -> bool {
-    results.iter().all(|(_, m)| m.latency_ns() < cap)
+    assert!(results.iter().all(|(_, m)| m.latency_ns() < 60 * SEC));
 }
 
 #[test]
@@ -490,17 +401,14 @@ fn deep_fetch_reduces_fault_count() {
         .unwrap();
     let class = preprocess_sod(&c).unwrap();
     let run = |deep: bool| -> (u64, Option<i64>) {
-        let mut cluster = cluster_of(2, &class);
-        let pid = cluster.add_program(0, "L", "main", vec![Value::Int(40), Value::Int(400_000)]);
+        let mut sc = scenario_of(2, &class)
+            .program("L", "main", vec![Value::Int(40), Value::Int(400_000)])
+            .migrate(When::At(2 * MS), Plan::top_to("n1", 1));
         if deep {
-            cluster.programs[pid as usize].fetch_policy = sod_runtime::FetchPolicy::Deep;
+            sc = sc.fetch_policy(FetchPolicy::Deep);
         }
-        let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-        sim.start_program(0, pid);
-        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
-        sim.run();
-        assert_eq!(sim.program(pid).error, None);
-        (sim.report(pid).object_faults, sim.report(pid).result)
+        let report = sc.run().unwrap();
+        (report.first().object_faults, report.first().result)
     };
     let (shallow_faults, r1) = run(false);
     let (deep_faults, r2) = run(true);

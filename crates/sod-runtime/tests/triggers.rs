@@ -1,0 +1,252 @@
+//! Unit tests for policy-driven migration triggers: each `Trigger`
+//! variant firing — and deliberately *not* firing — deterministically,
+//! exercised at the engine level (`Cluster` + `SodSim`).
+
+use sod_asm::builder::ClassBuilder;
+use sod_net::Topology;
+use sod_preprocess::preprocess_sod;
+use sod_runtime::engine::{Cluster, SodSim};
+use sod_runtime::node::{Node, NodeConfig};
+use sod_runtime::trigger::{ArmedTrigger, Trigger};
+use sod_runtime::{MigrationPlan, RunReport};
+use sod_vm::class::ClassDef;
+use sod_vm::instr::Cmp;
+use sod_vm::value::{TypeOf, Value};
+
+/// work(n) sums 0..n while touching a heap box (so a migrated segment
+/// faults on objects); main adds 5.
+fn app_class() -> ClassDef {
+    let c = ClassBuilder::new("App")
+        .field("count", TypeOf::Int)
+        .method("work", &["n", "box"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("box").load("i").putfield("count");
+            m.line();
+            m.load("acc").load("i").add().store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.new_obj("App").store("box");
+            m.line();
+            m.load("n").load("box").invoke("App", "work", 2).store("r");
+            m.line();
+            m.load("r").pushi(5).add().retv();
+        })
+        .build()
+        .unwrap();
+    preprocess_sod(&c).unwrap()
+}
+
+fn expected(n: i64) -> i64 {
+    (0..n).sum::<i64>() + 5
+}
+
+const N: i64 = 400_000;
+
+/// Two cluster nodes, the program armed with `trigger`; returns its report.
+fn run_armed(trigger: Option<ArmedTrigger>) -> RunReport {
+    let class = app_class();
+    let mut home = Node::new(NodeConfig::cluster("home"));
+    home.deploy(&class).unwrap();
+    let worker = Node::new(NodeConfig::cluster("worker"));
+    let mut cluster = Cluster::new(vec![home, worker]);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(N)]);
+    if let Some(t) = trigger {
+        cluster.arm_trigger(pid, t);
+    }
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    assert_eq!(sim.program(pid).error, None);
+    sim.report(pid).clone()
+}
+
+#[test]
+fn at_trigger_fires_with_armed_plan() {
+    let r = run_armed(Some(ArmedTrigger::with_plan(
+        Trigger::At(2 * sod_net::MS),
+        MigrationPlan::top_to(1, 1),
+    )));
+    assert_eq!(r.result, Some(expected(N)));
+    assert_eq!(r.migrations.len(), 1, "At trigger must fire once");
+}
+
+#[test]
+fn at_trigger_without_plan_never_fires() {
+    // `At` has no destination of its own; armed without a plan it is inert.
+    let r = run_armed(Some(ArmedTrigger::new(Trigger::At(2 * sod_net::MS))));
+    assert_eq!(r.result, Some(expected(N)));
+    assert!(r.migrations.is_empty());
+}
+
+#[test]
+fn at_trigger_past_completion_does_not_fire() {
+    let r = run_armed(Some(ArmedTrigger::with_plan(
+        Trigger::At(u64::MAX / 2),
+        MigrationPlan::top_to(1, 1),
+    )));
+    assert_eq!(r.result, Some(expected(N)));
+    assert!(r.migrations.is_empty(), "deadline far beyond completion");
+}
+
+#[test]
+fn cpu_slice_budget_fires_exactly_once() {
+    let r = run_armed(Some(ArmedTrigger::new(Trigger::OnCpuSliceBudget {
+        slices: 10,
+        to: 1,
+    })));
+    assert_eq!(r.result, Some(expected(N)));
+    assert_eq!(r.migrations.len(), 1, "budget exhausted → one migration");
+}
+
+#[test]
+fn cpu_slice_budget_untouched_does_not_fire() {
+    let r = run_armed(Some(ArmedTrigger::new(Trigger::OnCpuSliceBudget {
+        slices: u64::MAX,
+        to: 1,
+    })));
+    assert_eq!(r.result, Some(expected(N)));
+    assert!(r.migrations.is_empty());
+}
+
+#[test]
+fn cpu_slice_budget_runs_are_deterministic() {
+    let t = || ArmedTrigger::new(Trigger::OnCpuSliceBudget { slices: 25, to: 1 });
+    let a = run_armed(Some(t()));
+    let b = run_armed(Some(t()));
+    assert_eq!(a, b, "same policy, same topology → identical report");
+    assert_eq!(a.migrations.len(), 1);
+}
+
+#[test]
+fn object_fault_threshold_fires_after_remote_faults() {
+    // First, a CPU-budget migration ships `work` to the worker, which
+    // faults on `box` every iteration's PutField — crossing the fault
+    // threshold. The threshold trigger then fires once control is back
+    // home, producing a second migration.
+    let faulty = run_armed(Some(ArmedTrigger::new(Trigger::OnCpuSliceBudget {
+        slices: 10,
+        to: 1,
+    })));
+    assert!(
+        faulty.object_faults >= 1,
+        "remote segment must fault on the box"
+    );
+
+    let class = app_class();
+    let mut home = Node::new(NodeConfig::cluster("home"));
+    home.deploy(&class).unwrap();
+    let worker = Node::new(NodeConfig::cluster("worker"));
+    let mut cluster = Cluster::new(vec![home, worker]);
+    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(N)]);
+    cluster.arm_trigger(
+        pid,
+        ArmedTrigger::new(Trigger::OnCpuSliceBudget { slices: 10, to: 1 }),
+    );
+    cluster.arm_trigger(
+        pid,
+        ArmedTrigger::new(Trigger::OnObjectFaults {
+            threshold: 1,
+            to: 1,
+        }),
+    );
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    assert_eq!(sim.program(pid).error, None);
+    let r = sim.report(pid);
+    assert_eq!(r.result, Some(expected(N)));
+    assert_eq!(
+        r.migrations.len(),
+        2,
+        "budget migration then fault-threshold migration"
+    );
+}
+
+#[test]
+fn object_fault_threshold_alone_never_fires_at_home() {
+    // Without a prior migration there are no remote faults, so the
+    // threshold is never crossed.
+    let r = run_armed(Some(ArmedTrigger::new(Trigger::OnObjectFaults {
+        threshold: 1,
+        to: 1,
+    })));
+    assert_eq!(r.result, Some(expected(N)));
+    assert_eq!(r.object_faults, 0);
+    assert!(r.migrations.is_empty());
+}
+
+#[test]
+fn oom_trigger_rescues_and_is_one_shot() {
+    let c = ClassBuilder::new("Big")
+        .method("alloc", &["n"], |m| {
+            m.line();
+            m.load("n").newarr().store("a");
+            m.line();
+            m.load("a").arrlen().retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Big", "alloc", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+    let mut cfg = NodeConfig::device("phone");
+    cfg.mem_limit = Some(4 << 20);
+    let mut device = Node::new(cfg);
+    device.deploy(&class).unwrap();
+    let cloud = Node::new(NodeConfig::cloud("cloud"));
+    let mut cluster = Cluster::new(vec![device, cloud]);
+    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(2_000_000)]);
+    cluster.arm_trigger(pid, ArmedTrigger::new(Trigger::OnOom { to: 1 }));
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    assert_eq!(sim.program(pid).error, None, "offload must rescue the OOM");
+    let r = sim.report(pid);
+    assert_eq!(r.result, Some(2_000_000));
+    assert_eq!(r.migrations.len(), 1, "the trigger fires exactly once");
+}
+
+#[test]
+fn oom_trigger_without_pressure_does_not_fire() {
+    // Plenty of heap: the allocation succeeds locally and the armed OnOom
+    // trigger stays silent.
+    let c = ClassBuilder::new("Big")
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").newarr().store("a");
+            m.line();
+            m.load("a").arrlen().retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&c).unwrap();
+    let mut device = Node::new(NodeConfig::cluster("roomy"));
+    device.deploy(&class).unwrap();
+    let cloud = Node::new(NodeConfig::cloud("cloud"));
+    let mut cluster = Cluster::new(vec![device, cloud]);
+    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(1_000)]);
+    cluster.arm_trigger(pid, ArmedTrigger::new(Trigger::OnOom { to: 1 }));
+    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
+    sim.start_program(0, pid);
+    sim.run();
+    assert_eq!(sim.program(pid).error, None);
+    let r = sim.report(pid);
+    assert_eq!(r.result, Some(1_000));
+    assert!(r.migrations.is_empty());
+}

@@ -379,7 +379,7 @@ pub fn extract_dirty(heap: &Heap, id: ObjId, temp_base: ObjId) -> VmResult<WireO
     Ok(WireObject { home_id, body })
 }
 
-/// Serialized size of a [`HeapObj`] as shipped (for cost models that need a
+/// Serialized size of a [`crate::heap::HeapObj`] as shipped (for cost models that need a
 /// size without building the message).
 pub fn object_wire_bytes(heap: &Heap, id: ObjId) -> VmResult<u64> {
     Ok(extract_object(heap, id)?.wire_bytes())

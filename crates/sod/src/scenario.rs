@@ -1,0 +1,707 @@
+//! Declarative scenario builder: describe an elastic-execution experiment
+//! — topology, nodes, programs, migration policies — and run it.
+//!
+//! The runtime's raw wiring (`Node::new` + `deploy`/`stage`,
+//! `Cluster::new`, `SodSim::new`, hand-scheduled `migrate_at` calls) is
+//! flexible but verbose, and repeats near-identically across every
+//! experiment. [`Scenario`] replaces that plumbing with a fluent, typed
+//! description:
+//!
+//! ```
+//! use sod::asm::builder::ClassBuilder;
+//! use sod::net::MS;
+//! use sod::preprocess::preprocess_sod;
+//! use sod::runtime::NodeConfig;
+//! use sod::scenario::{Plan, Scenario, When};
+//!
+//! # fn main() -> Result<(), sod::scenario::ScenarioError> {
+//! let class = ClassBuilder::new("App")
+//!     .method("work", &["n"], |m| {
+//!         m.line();
+//!         m.load("n").pushi(3).add().retv();
+//!     })
+//!     .method("main", &["n"], |m| {
+//!         m.line();
+//!         m.load("n").invoke("App", "work", 1).store("r");
+//!         m.line();
+//!         m.load("r").retv();
+//!     })
+//!     .build()
+//!     .expect("valid program");
+//! let class = preprocess_sod(&class).expect("preprocess");
+//!
+//! let report = Scenario::new()
+//!     .node("home", NodeConfig::cluster("home"))
+//!     .deploys(&class)
+//!     .node("worker", NodeConfig::cluster("worker"))
+//!     .program("App", "main", vec![sod::vm::value::Value::Int(4)])
+//!     .on("home")
+//!     .migrate(When::At(MS), Plan::top_to("worker", 1))
+//!     .run()?;
+//! assert_eq!(report.first().result, Some(7));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Everything is named: nodes are declared once and referenced by name in
+//! plans, links, and placements (indices — needed when guest *arguments*
+//! encode a destination node — follow declaration order, starting at 0).
+//! Builder calls never fail; all validation happens in [`Scenario::run`],
+//! which returns a typed [`ScenarioError`] instead of panicking.
+//!
+//! Migration is expressed as *policy*, not timestamps: [`When::At`] keeps
+//! the paper's fixed-time schedules, while [`When::OnOom`],
+//! [`When::OnObjectFaults`] and [`When::OnCpuSliceBudget`] arm
+//! [`sod_runtime::trigger::Trigger`]s that the engine evaluates at
+//! migration-safe points (see that module for the exact semantics).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sod_net::{LinkSpec, Topology};
+use sod_runtime::trigger::{ArmedTrigger, Trigger};
+use sod_runtime::{
+    Cluster, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport, SegmentSpec, SodSim,
+};
+use sod_vm::class::ClassDef;
+use sod_vm::value::Value;
+
+/// Built-in topologies; the node count is taken from the declared nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's testbed: Gigabit Ethernet between every pair.
+    GigabitCluster,
+    /// WAN links between every pair (the roaming experiment).
+    WanGrid,
+}
+
+#[derive(Clone, Debug)]
+enum TopoSpec {
+    Preset(Preset),
+    Custom(Topology),
+}
+
+/// When a program migrates. `At` reproduces the legacy fixed-time
+/// schedule exactly; the other variants arm policy
+/// [`Trigger`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum When {
+    /// At virtual time `ns` (first migration-safe point after it).
+    At(u64),
+    /// On an unhandled `OutOfMemoryError` (whole-stack offload; the
+    /// plan's first destination is the rescue node).
+    OnOom,
+    /// Once the program has served this many remote object faults.
+    OnObjectFaults(u64),
+    /// Once the root thread has consumed this many execution slices.
+    OnCpuSliceBudget(u64),
+}
+
+/// A migration plan over *named* nodes; resolved against the scenario's
+/// node table by [`Scenario::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plan {
+    segments: Vec<(String, usize)>,
+}
+
+impl Plan {
+    /// Ship the top `nframes` to `node`; control returns home (Fig. 1a).
+    pub fn top_to(node: impl Into<String>, nframes: usize) -> Self {
+        Plan {
+            segments: vec![(node.into(), nframes)],
+        }
+    }
+
+    /// Multi-segment plan from `(node, nframes)` pairs, topmost first
+    /// (Fig. 1b when all pairs name one node, Fig. 1c otherwise).
+    pub fn chain(segments: &[(&str, usize)]) -> Self {
+        Plan {
+            segments: segments
+                .iter()
+                .map(|&(node, nframes)| (node.to_owned(), nframes))
+                .collect(),
+        }
+    }
+
+    /// Total migration (Fig. 1b): the whole stack moves to `node` and
+    /// execution continues there.
+    pub fn whole_stack_to(node: impl Into<String>) -> Self {
+        let node = node.into();
+        Plan {
+            segments: vec![(node.clone(), 1), (node, MigrationPlan::WHOLE_STACK_FRAMES)],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeDecl {
+    name: String,
+    cfg: NodeConfig,
+    deploys: Vec<ClassDef>,
+    stages: Vec<ClassDef>,
+    files: Vec<(String, u64, Option<u64>)>,
+    mounts: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct ProgramDecl {
+    class: String,
+    method: String,
+    args: Vec<Value>,
+    on: Option<String>,
+    start_at: u64,
+    fetch_policy: FetchPolicy,
+    migrations: Vec<(When, Plan)>,
+}
+
+/// What went wrong while assembling or running a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The scenario declares no nodes.
+    NoNodes,
+    /// The scenario declares no programs.
+    NoPrograms,
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// A link, plan, mount, or placement names an undeclared node.
+    UnknownNode(String),
+    /// A node- or program-scoped directive (`deploys`, `on`, `migrate`,
+    /// …) was called before any `node(..)` / `program(..)`.
+    Misplaced(&'static str),
+    /// A custom topology's node count disagrees with the declared nodes.
+    TopologySize { topology: usize, declared: usize },
+    /// A `migrate(..)` directive carries a plan with no segments.
+    EmptyPlan,
+    /// Deploying a class onto a node failed verification/loading.
+    Deploy { node: String, error: String },
+    /// A program finished with a runtime error.
+    Program { program: String, error: String },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoNodes => write!(f, "scenario declares no nodes"),
+            ScenarioError::NoPrograms => write!(f, "scenario declares no programs"),
+            ScenarioError::DuplicateNode(n) => write!(f, "duplicate node name {n:?}"),
+            ScenarioError::UnknownNode(n) => write!(f, "unknown node name {n:?}"),
+            ScenarioError::Misplaced(what) => {
+                write!(f, "{what} must follow the declaration it configures")
+            }
+            ScenarioError::TopologySize { topology, declared } => write!(
+                f,
+                "custom topology has {topology} nodes but {declared} were declared"
+            ),
+            ScenarioError::EmptyPlan => {
+                write!(f, "migration plan has no segments (nowhere to migrate)")
+            }
+            ScenarioError::Deploy { node, error } => {
+                write!(f, "deploying onto node {node:?} failed: {error}")
+            }
+            ScenarioError::Program { program, error } => {
+                write!(f, "program {program} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Outcome of one program inside a finished scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramRun {
+    /// `Class::method` of the program.
+    pub name: String,
+    /// The runtime's full measurement record.
+    pub report: RunReport,
+}
+
+/// The typed result of [`Scenario::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Final virtual time of the simulation (all events drained).
+    pub finished_at_ns: u64,
+    programs: Vec<ProgramRun>,
+}
+
+impl ScenarioReport {
+    /// The first program's report (every scenario has at least one).
+    pub fn first(&self) -> &RunReport {
+        &self.programs[0].report
+    }
+
+    /// Report of the `i`-th declared program.
+    pub fn report(&self, i: usize) -> &RunReport {
+        &self.programs[i].report
+    }
+
+    /// All program outcomes, in declaration order.
+    pub fn programs(&self) -> &[ProgramRun] {
+        &self.programs
+    }
+}
+
+/// Fluent builder for an elastic-execution experiment. See the [module
+/// docs](self) for a walkthrough.
+///
+/// Node-scoped directives (`deploys`, `stages`, `file`, `mounts`) apply
+/// to the most recent `node(..)`; program-scoped directives (`on`,
+/// `starts_at`, `fetch_policy`, `migrate`) to the most recent
+/// `program(..)`. A program without `on(..)` runs on the first declared
+/// node.
+#[derive(Debug, Default)]
+pub struct Scenario {
+    topo: Option<TopoSpec>,
+    links: Vec<(String, String, LinkSpec)>,
+    nodes: Vec<NodeDecl>,
+    /// Mounts addressed to a node by name (`mount_on`), resolved in `run`.
+    named_mounts: Vec<(String, String, String)>,
+    programs: Vec<ProgramDecl>,
+    requests: Vec<(u64, String, String)>,
+    slice_ns: Option<u64>,
+    errors: Vec<ScenarioError>,
+}
+
+impl Scenario {
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Select a built-in topology (default: [`Preset::GigabitCluster`]).
+    pub fn topology(mut self, preset: Preset) -> Self {
+        self.topo = Some(TopoSpec::Preset(preset));
+        self
+    }
+
+    /// Use a hand-built [`Topology`] instead of a preset. Its node count
+    /// must match the declared nodes.
+    pub fn custom(mut self, topology: Topology) -> Self {
+        self.topo = Some(TopoSpec::Custom(topology));
+        self
+    }
+
+    /// Override the link between two named nodes (both directions).
+    pub fn link(mut self, a: impl Into<String>, b: impl Into<String>, spec: LinkSpec) -> Self {
+        self.links.push((a.into(), b.into(), spec));
+        self
+    }
+
+    /// Declare a node. Indices follow declaration order, starting at 0.
+    pub fn node(mut self, name: impl Into<String>, cfg: NodeConfig) -> Self {
+        self.nodes.push(NodeDecl {
+            name: name.into(),
+            cfg,
+            deploys: Vec::new(),
+            stages: Vec::new(),
+            files: Vec::new(),
+            mounts: Vec::new(),
+        });
+        self
+    }
+
+    fn with_last_node(mut self, what: &'static str, f: impl FnOnce(&mut NodeDecl)) -> Self {
+        match self.nodes.last_mut() {
+            Some(n) => f(n),
+            None => self.errors.push(ScenarioError::Misplaced(what)),
+        }
+        self
+    }
+
+    /// Deploy a (preprocessed) class on the last declared node: loaded
+    /// into its VM *and* published in its class repository.
+    pub fn deploys(self, class: &ClassDef) -> Self {
+        let class = class.clone();
+        self.with_last_node("deploys(..)", move |n| n.deploys.push(class))
+    }
+
+    /// Stage a class file on the last declared node without loading it
+    /// (it ships to workers on demand).
+    pub fn stages(self, class: &ClassDef) -> Self {
+        let class = class.clone();
+        self.with_last_node("stages(..)", move |n| n.stages.push(class))
+    }
+
+    /// Create a file on the last declared node's simulated disk.
+    pub fn file(self, path: impl Into<String>, bytes: u64, match_at: Option<u64>) -> Self {
+        let path = path.into();
+        self.with_last_node("file(..)", move |n| n.files.push((path, bytes, match_at)))
+    }
+
+    /// NFS-mount `prefix` on the last declared node, served by `server`.
+    pub fn mounts(self, prefix: impl Into<String>, server: impl Into<String>) -> Self {
+        let (prefix, server) = (prefix.into(), server.into());
+        self.with_last_node("mounts(..)", move |n| n.mounts.push((prefix, server)))
+    }
+
+    /// NFS-mount `prefix` on the *named* node (not the last declared
+    /// one), served by `server` — for meshes where every node mounts
+    /// every export. Like every other name-taking directive, the names
+    /// are resolved in [`Scenario::run`], so forward references to nodes
+    /// declared later are fine.
+    pub fn mount_on(
+        mut self,
+        node: impl Into<String>,
+        prefix: impl Into<String>,
+        server: impl Into<String>,
+    ) -> Self {
+        self.named_mounts
+            .push((node.into(), prefix.into(), server.into()));
+        self
+    }
+
+    /// Declare a program: `class::method(args)` rooted on the node named
+    /// by a following `on(..)` (default: the first declared node).
+    pub fn program(
+        mut self,
+        class: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Value>,
+    ) -> Self {
+        self.programs.push(ProgramDecl {
+            class: class.into(),
+            method: method.into(),
+            args,
+            on: None,
+            start_at: 0,
+            fetch_policy: FetchPolicy::default(),
+            migrations: Vec::new(),
+        });
+        self
+    }
+
+    fn with_last_program(mut self, what: &'static str, f: impl FnOnce(&mut ProgramDecl)) -> Self {
+        match self.programs.last_mut() {
+            Some(p) => f(p),
+            None => self.errors.push(ScenarioError::Misplaced(what)),
+        }
+        self
+    }
+
+    /// Place the last declared program on the named node.
+    pub fn on(self, node: impl Into<String>) -> Self {
+        let node = node.into();
+        self.with_last_program("on(..)", move |p| p.on = Some(node))
+    }
+
+    /// Start the last declared program at virtual time `ns` (default 0).
+    pub fn starts_at(self, ns: u64) -> Self {
+        self.with_last_program("starts_at(..)", move |p| p.start_at = ns)
+    }
+
+    /// Object-fetch policy for the last declared program.
+    pub fn fetch_policy(self, policy: FetchPolicy) -> Self {
+        self.with_last_program("fetch_policy(..)", move |p| p.fetch_policy = policy)
+    }
+
+    /// Migrate the last declared program per `plan` when `when` holds.
+    pub fn migrate(self, when: When, plan: Plan) -> Self {
+        self.with_last_program("migrate(..)", move |p| p.migrations.push((when, plan)))
+    }
+
+    /// Inject a client request into the named node's accept queue at
+    /// virtual time `ns` (the photo-share scenario).
+    pub fn client_request_at(
+        mut self,
+        ns: u64,
+        node: impl Into<String>,
+        payload: impl Into<String>,
+    ) -> Self {
+        self.requests.push((ns, node.into(), payload.into()));
+        self
+    }
+
+    /// Override the execution-slice length (virtual ns per thread slice).
+    pub fn slice_ns(mut self, ns: u64) -> Self {
+        self.slice_ns = Some(ns);
+        self
+    }
+
+    /// Validate the description, wire the cluster, run the simulation to
+    /// idle, and collect every program's report.
+    pub fn run(self) -> Result<ScenarioReport, ScenarioError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if self.nodes.is_empty() {
+            return Err(ScenarioError::NoNodes);
+        }
+        if self.programs.is_empty() {
+            return Err(ScenarioError::NoPrograms);
+        }
+
+        // Name table (also rejects duplicates).
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if index.insert(n.name.as_str(), i).is_some() {
+                return Err(ScenarioError::DuplicateNode(n.name.clone()));
+            }
+        }
+        let resolve = |name: &str| -> Result<usize, ScenarioError> {
+            index
+                .get(name)
+                .copied()
+                .ok_or_else(|| ScenarioError::UnknownNode(name.to_owned()))
+        };
+
+        // Topology: preset sized to the declared nodes, links overridden
+        // by name.
+        let mut topo = match self
+            .topo
+            .unwrap_or(TopoSpec::Preset(Preset::GigabitCluster))
+        {
+            TopoSpec::Preset(Preset::GigabitCluster) => Topology::gigabit_cluster(self.nodes.len()),
+            TopoSpec::Preset(Preset::WanGrid) => Topology::wan_grid(self.nodes.len()),
+            TopoSpec::Custom(t) => {
+                if t.len() != self.nodes.len() {
+                    return Err(ScenarioError::TopologySize {
+                        topology: t.len(),
+                        declared: self.nodes.len(),
+                    });
+                }
+                t
+            }
+        };
+        for (a, b, spec) in &self.links {
+            topo.set_link(resolve(a)?, resolve(b)?, *spec);
+        }
+
+        // Nodes: config, deployed/staged classes, files, mounts.
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for decl in &self.nodes {
+            let mut node = Node::new(decl.cfg.clone());
+            for class in &decl.deploys {
+                node.deploy(class).map_err(|e| ScenarioError::Deploy {
+                    node: decl.name.clone(),
+                    error: format!("{e:?}"),
+                })?;
+            }
+            for class in &decl.stages {
+                node.stage(class);
+            }
+            for (path, bytes, match_at) in &decl.files {
+                node.fs.add_file(path.clone(), *bytes, *match_at);
+            }
+            for (prefix, server) in &decl.mounts {
+                node.fs.mount(prefix.clone(), resolve(server)?);
+            }
+            nodes.push(node);
+        }
+        for (node, prefix, server) in &self.named_mounts {
+            let server = resolve(server)?;
+            nodes[resolve(node)?].fs.mount(prefix.clone(), server);
+        }
+
+        // Programs: placement, fetch policy, armed policy triggers.
+        let mut cluster = Cluster::new(nodes);
+        if let Some(ns) = self.slice_ns {
+            cluster.slice_ns = ns;
+        }
+        let resolve_plan = |plan: &Plan| -> Result<MigrationPlan, ScenarioError> {
+            let mut segments = Vec::with_capacity(plan.segments.len());
+            for (node, nframes) in &plan.segments {
+                segments.push(SegmentSpec {
+                    dest: resolve(node)?,
+                    nframes: *nframes,
+                });
+            }
+            Ok(MigrationPlan { segments })
+        };
+        // Fixed-time migrations are injected as simulator events, exactly
+        // like the legacy `SodSim::migrate_at`, so a scenario-built run is
+        // event-for-event identical to hand wiring.
+        let mut fixed: Vec<(u64, u32, MigrationPlan)> = Vec::new();
+        let mut names = Vec::with_capacity(self.programs.len());
+        for decl in &self.programs {
+            let home = match &decl.on {
+                Some(name) => resolve(name)?,
+                None => 0,
+            };
+            let pid = cluster.add_program(home, &*decl.class, &*decl.method, decl.args.clone());
+            cluster.programs[pid as usize].fetch_policy = decl.fetch_policy;
+            names.push(format!("{}::{}", decl.class, decl.method));
+            for (when, plan) in &decl.migrations {
+                let plan = resolve_plan(plan)?;
+                // A plan with no segments can never migrate anywhere (and
+                // would leave the engine suspended waiting on zero
+                // segments): reject it up front.
+                let Some(first_dest) = plan.segments.first().map(|s| s.dest) else {
+                    return Err(ScenarioError::EmptyPlan);
+                };
+                match *when {
+                    When::At(ns) => fixed.push((ns, pid, plan)),
+                    When::OnOom => cluster
+                        .arm_trigger(pid, ArmedTrigger::new(Trigger::OnOom { to: first_dest })),
+                    When::OnObjectFaults(threshold) => cluster.arm_trigger(
+                        pid,
+                        ArmedTrigger::with_plan(
+                            Trigger::OnObjectFaults {
+                                threshold,
+                                to: first_dest,
+                            },
+                            plan,
+                        ),
+                    ),
+                    When::OnCpuSliceBudget(slices) => cluster.arm_trigger(
+                        pid,
+                        ArmedTrigger::with_plan(
+                            Trigger::OnCpuSliceBudget {
+                                slices,
+                                to: first_dest,
+                            },
+                            plan,
+                        ),
+                    ),
+                }
+            }
+        }
+
+        let mut sim = SodSim::new(cluster, topo);
+        for pid in 0..self.programs.len() as u32 {
+            sim.start_program(self.programs[pid as usize].start_at, pid);
+        }
+        for (ns, pid, plan) in fixed {
+            sim.migrate_at(ns, pid, plan);
+        }
+        for (ns, node, payload) in &self.requests {
+            sim.client_request_at(*ns, resolve(node)?, payload.clone());
+        }
+        let finished_at_ns = sim.run();
+
+        let mut programs = Vec::with_capacity(names.len());
+        for (pid, name) in names.into_iter().enumerate() {
+            let p = sim.program(pid as u32);
+            if let Some(error) = &p.error {
+                return Err(ScenarioError::Program {
+                    program: name,
+                    error: error.clone(),
+                });
+            }
+            programs.push(ProgramRun {
+                name,
+                report: p.report.clone(),
+            });
+        }
+        Ok(ScenarioReport {
+            finished_at_ns,
+            programs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scenarios_are_rejected() {
+        assert_eq!(Scenario::new().run(), Err(ScenarioError::NoNodes));
+        assert_eq!(
+            Scenario::new().node("a", NodeConfig::cluster("a")).run(),
+            Err(ScenarioError::NoPrograms)
+        );
+    }
+
+    #[test]
+    fn misplaced_directives_are_reported() {
+        let err = Scenario::new()
+            .on("nowhere")
+            .node("a", NodeConfig::cluster("a"))
+            .program("X", "main", vec![])
+            .run();
+        assert_eq!(err, Err(ScenarioError::Misplaced("on(..)")));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_names_are_reported() {
+        let err = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .program("X", "main", vec![])
+            .on("ghost")
+            .run();
+        assert_eq!(err, Err(ScenarioError::UnknownNode("ghost".into())));
+        let err = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .node("a", NodeConfig::cluster("a"))
+            .program("X", "main", vec![])
+            .run();
+        assert_eq!(err, Err(ScenarioError::DuplicateNode("a".into())));
+    }
+
+    #[test]
+    fn custom_topology_size_is_checked() {
+        let err = Scenario::new()
+            .custom(Topology::gigabit_cluster(3))
+            .node("a", NodeConfig::cluster("a"))
+            .program("X", "main", vec![])
+            .run();
+        assert_eq!(
+            err,
+            Err(ScenarioError::TopologySize {
+                topology: 3,
+                declared: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn plan_constructors_resolve_names() {
+        let p = Plan::chain(&[("a", 1), ("b", 2)]);
+        assert_eq!(p.segments, vec![("a".to_owned(), 1), ("b".to_owned(), 2)]);
+        assert_eq!(Plan::top_to("a", 3).segments, vec![("a".to_owned(), 3)]);
+        let w = Plan::whole_stack_to("a");
+        assert_eq!(w.segments.len(), 2);
+        assert_eq!(w.segments[0], ("a".to_owned(), 1));
+    }
+
+    #[test]
+    fn empty_plans_are_rejected() {
+        for when in [When::At(1), When::OnOom, When::OnObjectFaults(1)] {
+            let err = Scenario::new()
+                .node("a", NodeConfig::cluster("a"))
+                .program("X", "main", vec![])
+                .migrate(when, Plan::chain(&[]))
+                .run();
+            assert_eq!(err, Err(ScenarioError::EmptyPlan), "{when:?}");
+        }
+    }
+
+    #[test]
+    fn mount_on_tolerates_forward_references() {
+        // `mount_on` may name nodes declared later; resolution happens in
+        // `run()` like every other directive.
+        let class = sod_asm::builder::ClassBuilder::new("T")
+            .method("main", &[], |m| {
+                m.line();
+                m.pushi(1).retv();
+            })
+            .build()
+            .unwrap();
+        let class = sod_preprocess::preprocess_sod(&class).unwrap();
+        let report = Scenario::new()
+            .mount_on("client", "/srv/", "server")
+            .node("client", NodeConfig::cluster("client"))
+            .deploys(&class)
+            .node("server", NodeConfig::cluster("server"))
+            .program("T", "main", vec![])
+            .run()
+            .unwrap();
+        assert_eq!(report.first().result, Some(1));
+        // An undeclared name still errors — at run() time.
+        let err = Scenario::new()
+            .mount_on("ghost", "/srv/", "client")
+            .node("client", NodeConfig::cluster("client"))
+            .program("T", "main", vec![])
+            .run();
+        assert_eq!(err, Err(ScenarioError::UnknownNode("ghost".into())));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ScenarioError::Program {
+            program: "App::main".into(),
+            error: "boom".into(),
+        };
+        assert!(e.to_string().contains("App::main"));
+        assert!(ScenarioError::NoNodes.to_string().contains("no nodes"));
+    }
+}

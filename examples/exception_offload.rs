@@ -1,16 +1,20 @@
 //! Exception-driven offload (paper §II.B): an allocation that overflows a
-//! small device's heap migrates to the cloud and retries there.
+//! small device's heap migrates to the cloud and retries there. The
+//! policy is declarative — `When::OnOom` arms the runtime's
+//! `Trigger::OnOom` instead of scripting a migration time.
 //!
 //! Run with: `cargo run --release --example exception_offload`
 
+use std::error::Error;
+
 use sod::asm::builder::ClassBuilder;
-use sod::net::{ns_to_ms_string, LinkSpec, Topology};
+use sod::net::{ns_to_ms_string, LinkSpec};
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::{Plan, Scenario, When};
 use sod::vm::value::Value;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let class = ClassBuilder::new("Big")
         .method("alloc", &["n"], |m| {
             m.line();
@@ -24,31 +28,29 @@ fn main() {
             m.line();
             m.load("r").retv();
         })
-        .build()
-        .unwrap();
-    let class = preprocess_sod(&class).unwrap();
+        .build()?;
+    let class = preprocess_sod(&class)?;
 
-    let mut cfg = NodeConfig::device("phone");
-    cfg.mem_limit = Some(4 << 20);
-    let mut device = Node::new(cfg);
-    device.deploy(&class).unwrap();
-    device.stage(&class);
-    let cloud = Node::new(NodeConfig::cloud("cloud"));
+    // A 4 MB phone heap cannot hold the 16 MB array; on OutOfMemoryError
+    // the whole stack rolls back one statement and retries on the cloud.
+    let mut phone = NodeConfig::device("phone");
+    phone.mem_limit = Some(4 << 20);
+    let report = Scenario::new()
+        .node("phone", phone)
+        .deploys(&class)
+        .node("cloud", NodeConfig::cloud("cloud"))
+        .link("phone", "cloud", LinkSpec::wifi_kbps(764))
+        .program("Big", "main", vec![Value::Int(2_000_000)])
+        .on("phone")
+        .migrate(When::OnOom, Plan::whole_stack_to("cloud"))
+        .run()?;
 
-    let mut cluster = Cluster::new(vec![device, cloud]);
-    let pid = cluster.add_program(0, "Big", "main", vec![Value::Int(2_000_000)]);
-    cluster.programs[pid as usize].oom_offload_to = Some(1);
-    let mut topo = Topology::gigabit_cluster(2);
-    topo.set_link(0, 1, LinkSpec::wifi_kbps(764));
-    let mut sim = SodSim::new(cluster, topo);
-    sim.start_program(0, pid);
-    sim.run();
-
-    let r = sim.report(pid);
+    let r = report.first();
     println!("allocated elements : {:?}", r.result);
     println!("migrations         : {}", r.migrations.len());
     println!(
         "rescue latency     : {} ms",
         ns_to_ms_string(r.migrations.first().map(|m| m.latency_ns()).unwrap_or(0))
     );
+    Ok(())
 }

@@ -4,39 +4,43 @@
 //!
 //! Run with: `cargo run --release --example photo_share`
 
-use sod::net::{ns_to_ms_string, LinkSpec, Topology, MS};
+use std::error::Error;
+
+use sod::net::{ns_to_ms_string, LinkSpec, MS};
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::Scenario;
 use sod::vm::value::Value;
 use sod::workloads::apps::photo_server_class;
 
-fn main() {
-    let class = preprocess_sod(&photo_server_class()).unwrap();
-    let mut server = Node::new(NodeConfig::cluster("web-server"));
-    server.deploy(&class).unwrap();
-    server.stage(&class);
-    let mut phone = Node::new(NodeConfig::device("phone"));
+fn main() -> Result<(), Box<dyn Error>> {
+    let class = preprocess_sod(&photo_server_class())?;
+
+    // The phone is node index 1 (declaration order); the guest program
+    // receives that index as its roam target.
+    let mut scenario = Scenario::new()
+        .node("web-server", NodeConfig::cluster("web-server"))
+        .deploys(&class)
+        .node("phone", NodeConfig::device("phone"))
+        .link("web-server", "phone", LinkSpec::wifi_kbps(764));
     for i in 0..5 {
-        phone
-            .fs
-            .add_file(format!("/User/Media/DCIM/IMG_{i:04}.jpg"), 2 << 20, None);
+        scenario = scenario.file(format!("/User/Media/DCIM/IMG_{i:04}.jpg"), 2 << 20, None);
     }
-    let mut cluster = Cluster::new(vec![server, phone]);
-    let pid = cluster.add_program(0, "Photo", "main", vec![Value::Int(3), Value::Int(1)]);
-    let mut topo = Topology::gigabit_cluster(2);
-    topo.set_link(0, 1, LinkSpec::wifi_kbps(764));
-    let mut sim = SodSim::new(cluster, topo);
-    sim.start_program(0, pid);
+    scenario = scenario
+        .program("Photo", "main", vec![Value::Int(3), Value::Int(1)])
+        .on("web-server");
     for i in 0..3u64 {
-        sim.client_request_at(i * 50 * MS, 0, format!("GET /photos?req={i}"));
+        scenario =
+            scenario.client_request_at(i * 50 * MS, "web-server", format!("GET /photos?req={i}"));
     }
-    sim.run();
-    let r = sim.report(pid);
+    let report = scenario.run()?;
+
+    let r = report.first();
     println!("photos served : {:?}", r.result);
     println!(
         "migrations    : {} (to phone and back, per request)",
         r.migrations.len()
     );
     println!("total time    : {} ms", ns_to_ms_string(r.finished_at_ns));
+    Ok(())
 }

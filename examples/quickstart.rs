@@ -1,18 +1,19 @@
 //! Quickstart: author a program, preprocess it, and offload its hot frame
-//! to a second node mid-run.
+//! to a second node mid-run — all through the `sod::scenario` builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::error::Error;
+
 use sod::asm::builder::ClassBuilder;
-use sod::net::{ns_to_ms_string, Topology, MS};
+use sod::net::{ns_to_ms_string, MS};
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::msg::MigrationPlan;
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::{Plan, Scenario, When};
 use sod::vm::instr::Cmp;
 use sod::vm::value::Value;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // A simple CPU-bound method plus a main that calls it.
     let class = ClassBuilder::new("App")
         .method("work", &["n"], |m| {
@@ -36,26 +37,24 @@ fn main() {
             m.line();
             m.load("r").retv();
         })
-        .build()
-        .expect("valid program");
+        .build()?;
 
     // One offline preprocessing pass: migration-safe points, object-fault
     // handlers, restoration handlers.
-    let class = preprocess_sod(&class).expect("preprocess");
+    let class = preprocess_sod(&class)?;
 
-    let mut home = Node::new(NodeConfig::cluster("home"));
-    home.deploy(&class).unwrap();
-    home.stage(&class);
-    let worker = Node::new(NodeConfig::cluster("worker"));
+    // Two cluster nodes; push the top frame (work) to the worker shortly
+    // after start.
+    let report = Scenario::new()
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("worker", NodeConfig::cluster("worker"))
+        .program("App", "main", vec![Value::Int(2_000_000)])
+        .on("home")
+        .migrate(When::At(2 * MS), Plan::top_to("worker", 1))
+        .run()?;
 
-    let mut cluster = Cluster::new(vec![home, worker]);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(2_000_000)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
-    sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
-    sim.run();
-
-    let r = sim.report(pid);
+    let r = report.first();
     println!("result          : {:?}", r.result);
     println!("virtual runtime : {} ms", ns_to_ms_string(r.finished_at_ns));
     println!("object faults   : {}", r.object_faults);
@@ -67,4 +66,5 @@ fn main() {
             ns_to_ms_string(m.restore_ns)
         );
     }
+    Ok(())
 }

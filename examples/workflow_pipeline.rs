@@ -3,6 +3,11 @@
 //!
 //! Run with: `cargo run --release --example workflow_pipeline`
 
-fn main() {
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The three Fig. 1 execution paths are shared with the bench harness
+    // (each one a `sod::scenario::Scenario` with a different `Plan`).
     print!("{}", sod_bench::fig1());
+    Ok(())
 }

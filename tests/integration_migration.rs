@@ -1,11 +1,10 @@
 //! End-to-end: every Table I workload completes correctly with and without
 //! a mid-run SOD migration, and the migrated result matches.
 
-use sod::net::{Topology, MS};
+use sod::net::MS;
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::msg::MigrationPlan;
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::{Plan, Scenario, When};
 use sod::workloads::WORKLOADS;
 
 #[test]
@@ -13,25 +12,17 @@ fn all_workloads_migrate_losslessly() {
     for w in &WORKLOADS {
         let class = preprocess_sod(&(w.build)()).unwrap();
         let run = |migrate: bool| {
-            let mut home = Node::new(NodeConfig::cluster("home"));
-            home.deploy(&class).unwrap();
-            home.stage(&class);
-            let worker = Node::new(NodeConfig::cluster("worker"));
-            let mut cluster = Cluster::new(vec![home, worker]);
-            let pid = cluster.add_program(0, w.class, w.method, w.args());
-            let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-            sim.start_program(0, pid);
+            let mut scenario = Scenario::new()
+                .node("home", NodeConfig::cluster("home"))
+                .deploys(&class)
+                .node("worker", NodeConfig::cluster("worker"))
+                .program(w.class, w.method, w.args())
+                .on("home");
             if migrate {
-                sim.migrate_at(3 * MS, pid, MigrationPlan::top_to(1, 1));
+                scenario = scenario.migrate(When::At(3 * MS), Plan::top_to("worker", 1));
             }
-            sim.run();
-            assert!(
-                sim.program(pid).error.is_none(),
-                "{}: {:?}",
-                w.name,
-                sim.program(pid).error
-            );
-            sim.report(pid).result
+            let report = scenario.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            report.first().result
         };
         let plain = run(false);
         let migrated = run(true);

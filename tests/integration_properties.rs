@@ -2,35 +2,25 @@
 //! never changes its result.
 
 use proptest::prelude::*;
-use sod::net::Topology;
 use sod::net::US;
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::msg::MigrationPlan;
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::{Plan, Scenario, When};
 use sod::vm::value::Value;
 use sod::workloads::programs::fib_class;
 
 fn run_fib(n: i64, migrate_at_us: Option<u64>, nframes: usize) -> Option<i64> {
     let class = preprocess_sod(&fib_class()).unwrap();
-    let mut home = Node::new(NodeConfig::cluster("home"));
-    home.deploy(&class).unwrap();
-    home.stage(&class);
-    let worker = Node::new(NodeConfig::cluster("worker"));
-    let mut cluster = Cluster::new(vec![home, worker]);
-    let pid = cluster.add_program(0, "Fib", "main", vec![Value::Int(n)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
+    let mut scenario = Scenario::new()
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("worker", NodeConfig::cluster("worker"))
+        .program("Fib", "main", vec![Value::Int(n)])
+        .on("home");
     if let Some(at) = migrate_at_us {
-        sim.migrate_at(at * US, pid, MigrationPlan::top_to(1, nframes));
+        scenario = scenario.migrate(When::At(at * US), Plan::top_to("worker", nframes));
     }
-    sim.run();
-    assert!(
-        sim.program(pid).error.is_none(),
-        "{:?}",
-        sim.program(pid).error
-    );
-    sim.report(pid).result
+    scenario.run().expect("scenario completes").first().result
 }
 
 proptest! {

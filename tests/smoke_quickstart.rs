@@ -1,18 +1,17 @@
 //! Smoke test: the `examples/quickstart.rs` flow as a `#[test]`, so the
-//! facade crate's public API (author → preprocess → deploy → migrate →
+//! facade crate's public API (author → preprocess → scenario → migrate →
 //! report) is exercised by `cargo test` on every CI run.
 
-use sod::asm::builder::ClassBuilder;
-use sod::net::{Topology, MS};
+use sod::net::MS;
 use sod::preprocess::preprocess_sod;
-use sod::runtime::engine::{Cluster, SodSim};
-use sod::runtime::msg::MigrationPlan;
-use sod::runtime::node::{Node, NodeConfig};
+use sod::runtime::NodeConfig;
+use sod::scenario::{Plan, Scenario, When};
 use sod::vm::instr::Cmp;
 use sod::vm::value::Value;
 
 /// The quickstart program: `work(n)` sums 0..n, `main(n)` calls it.
 fn quickstart_class() -> sod::vm::class::ClassDef {
+    use sod::asm::builder::ClassBuilder;
     ClassBuilder::new("App")
         .method("work", &["n"], |m| {
             m.line();
@@ -44,21 +43,16 @@ const EXPECTED: i64 = N * (N - 1) / 2;
 
 fn run(migrate: bool) -> sod::runtime::metrics::RunReport {
     let class = preprocess_sod(&quickstart_class()).expect("preprocess");
-
-    let mut home = Node::new(NodeConfig::cluster("home"));
-    home.deploy(&class).unwrap();
-    home.stage(&class);
-    let worker = Node::new(NodeConfig::cluster("worker"));
-
-    let mut cluster = Cluster::new(vec![home, worker]);
-    let pid = cluster.add_program(0, "App", "main", vec![Value::Int(N)]);
-    let mut sim = SodSim::new(cluster, Topology::gigabit_cluster(2));
-    sim.start_program(0, pid);
+    let mut scenario = Scenario::new()
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("worker", NodeConfig::cluster("worker"))
+        .program("App", "main", vec![Value::Int(N)])
+        .on("home");
     if migrate {
-        sim.migrate_at(2 * MS, pid, MigrationPlan::top_to(1, 1));
+        scenario = scenario.migrate(When::At(2 * MS), Plan::top_to("worker", 1));
     }
-    sim.run();
-    sim.report(pid).clone()
+    scenario.run().expect("scenario completes").first().clone()
 }
 
 #[test]
