@@ -9,6 +9,7 @@ fn main() {
         ("", sod_bench::table7()),
         ("", sod_bench::fig1()),
         ("", sod_bench::roaming()),
+        ("", sod_bench::scale_table()),
     ] {
         println!("{name}{t}");
     }

@@ -1,0 +1,19 @@
+//! Regenerate the fleet-size sweep (`TABLE SCALE`) and its
+//! `BENCH_scale.json`-compatible summary.
+//!
+//! With no arguments the table and the JSON line both print to stdout;
+//! pass a path (e.g. `BENCH_scale.json`) to write the JSON there instead.
+
+fn main() {
+    // Simulate the sweep once; render the table and the JSON from it.
+    let rows = sod_bench::scale::sweep(&sod_bench::scale::SCALE_SWEEP);
+    print!("{}", sod_bench::scale::render_table(&rows));
+    let json = sod_bench::scale::render_json(&rows);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON summary");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -5,6 +5,8 @@
 //! `bin/all` regenerates the full evaluation and is what `EXPERIMENTS.md`
 //! records.
 
+pub mod scale;
 pub mod tables;
 
+pub use scale::{run_scale_fleet, scale_json, scale_table, scale_table_for};
 pub use tables::*;

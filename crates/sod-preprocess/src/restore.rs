@@ -152,13 +152,13 @@ mod tests {
                 StepOutcome::Breakpoint { .. } => {
                     // cbBreakpoint: arm next frame's entry breakpoint, set
                     // the cursor, throw InvalidState.
-                    vm.restore_session.as_mut().unwrap().cursor = restored;
+                    vm.threads[tid].restore_session.as_mut().unwrap().cursor = restored;
                     restored += 1;
                     if restored < state.frames.len() {
                         let next = &state.frames[restored];
                         let ci = vm.class_idx(&next.class).unwrap();
                         let mi = vm.classes[ci].method_idx(&next.method).unwrap();
-                        vm.set_breakpoint(ci, mi, 0);
+                        vm.set_breakpoint(tid, ci, mi, 0);
                     }
                     vm.throw_into(tid, ExKind::InvalidState, "restore", false)
                         .unwrap();

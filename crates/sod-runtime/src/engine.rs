@@ -41,7 +41,7 @@ use sod_vm::wire::{
 };
 
 use crate::costs;
-use crate::metrics::{MigrationTimings, RunReport};
+use crate::metrics::{ClusterReport, MigrationTimings, NodeUtilization, RunReport};
 use crate::msg::{
     FsOp, HostReply, MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, SessionId,
 };
@@ -250,8 +250,42 @@ impl Cluster {
         s
     }
 
-    fn total_instructions(&self) -> u64 {
-        self.nodes.iter().map(|n| n.vm.instr_count).sum()
+    /// Aggregate the cluster's current state into a [`ClusterReport`]:
+    /// per-request completion latencies (nearest-rank percentiles),
+    /// throughput over the makespan, and per-node utilization. Callable at
+    /// any point; normally used after the simulation runs to idle.
+    pub fn cluster_report(&self) -> ClusterReport {
+        let mut latencies = Vec::new();
+        let mut failed = 0u64;
+        let mut makespan = 0u64;
+        for p in &self.programs {
+            if !p.done {
+                continue;
+            }
+            makespan = makespan.max(p.report.finished_at_ns);
+            if p.error.is_some() {
+                failed += 1;
+            } else {
+                latencies.push(p.report.latency_ns());
+            }
+        }
+        let per_node = self
+            .nodes
+            .iter()
+            .map(|n| NodeUtilization {
+                name: n.cfg.name.clone(),
+                instructions: n.vm.instr_count,
+                slices: n.slices,
+                busy_ns: n.busy_ns,
+            })
+            .collect();
+        ClusterReport::aggregate(
+            self.programs.len() as u64,
+            latencies,
+            failed,
+            makespan,
+            per_node,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -267,7 +301,7 @@ impl Cluster {
         if !runnable {
             return; // stale slice: thread parked, finished, or mid-protocol
         }
-        let owner_pending = match self.thread_owner.get(&(node, tid)) {
+        let (owner_program, owner_pending) = match self.thread_owner.get(&(node, tid)) {
             Some(Owner::Root(p)) => {
                 let program = *p;
                 if self.programs[program as usize].suspended {
@@ -279,13 +313,15 @@ impl Cluster {
                 // slice already runs in stop-at-MSP mode.
                 self.programs[program as usize].slices_run += 1;
                 self.check_policy_triggers(program, ctx.now());
-                self.programs[program as usize].pending_plan.is_some()
+                (
+                    program,
+                    self.programs[program as usize].pending_plan.is_some(),
+                )
             }
-            Some(Owner::Worker(s)) => self
-                .sessions
-                .get(s)
-                .map(|w| w.pending_roam.is_some())
-                .unwrap_or(false),
+            Some(Owner::Worker(s)) => match self.sessions.get(s) {
+                Some(w) => (w.program, w.pending_roam.is_some()),
+                None => return,
+            },
             // Unowned threads (retired roaming workers) never run.
             None => return,
         };
@@ -295,11 +331,20 @@ impl Cluster {
             RunMode::Normal
         };
         let slice = self.slice_ns;
+        let instr_before = self.nodes[node].vm.instr_count;
         let (out, spent) = self.nodes[node]
             .vm
             .run(tid, slice, mode)
             .expect("vm run failed");
         let elapsed = self.nodes[node].cfg.scale(spent).max(1);
+        // Attribute the slice to the program that owns the thread (root or
+        // worker session) and to the node that ran it: with many programs
+        // interleaving on shared nodes, a global instruction counter would
+        // charge every program for everyone's work.
+        let retired = self.nodes[node].vm.instr_count - instr_before;
+        self.programs[owner_program as usize].report.instructions += retired;
+        self.nodes[node].slices += 1;
+        self.nodes[node].busy_ns += elapsed;
 
         // Finish a handler-protocol restore once the thread executes
         // anything past the last re-established frame (including returning
@@ -381,11 +426,18 @@ impl Cluster {
         let height = self.nodes[node].vm.thread(tid).unwrap().frames.len();
         let total: usize = plan.total_frames().min(height);
 
-        // Destination capability decides the capture path (Table VII).
-        let all_jvmti = plan
-            .segments
-            .iter()
-            .all(|s| self.nodes[s.dest].cfg.has_jvmti);
+        // Destination capability decides the capture path (Table VII) —
+        // judged over the segments that will actually receive frames
+        // (mirroring the split below), so the destination of an empty
+        // tail segment cannot force the slower portable path.
+        let all_jvmti = {
+            let mut remaining = total;
+            plan.segments.iter().all(|s| {
+                let k = s.nframes.min(remaining);
+                remaining -= k;
+                k == 0 || self.nodes[s.dest].cfg.has_jvmti
+            })
+        };
         let path = ToolingPath::Jvmti;
         let (full, tool_ns) =
             capture_segment(&mut self.nodes[node].vm, tid, total, path).expect("capture failed");
@@ -400,32 +452,42 @@ impl Cluster {
                 .scale(costs::PORTABLE_CAPTURE_FIXED_NS + costs::serialize_ns(state_bytes_full))
         };
 
-        // Split bottom-up frames into the plan's segments (top first).
+        // Split bottom-up frames into the plan's segments (top first),
+        // dropping specs the live stack is too short to populate. Empty
+        // segments must be filtered *before* session ids are allocated and
+        // return targets wired: a chain plan deeper than the stack would
+        // otherwise point the last live segment at a session that is never
+        // created, and its return would panic at the destination.
         let mut frames = full.frames;
         let statics = full.statics;
-        let mut segments_frames: Vec<Vec<sod_vm::capture::CapturedFrame>> = Vec::new();
+        let mut live: Vec<(usize, Vec<sod_vm::capture::CapturedFrame>)> = Vec::new();
         for spec in &plan.segments {
             let k = spec.nframes.min(frames.len());
-            let rest = frames.split_off(frames.len() - k);
-            segments_frames.push(rest);
+            let seg = frames.split_off(frames.len() - k);
+            if !seg.is_empty() {
+                live.push((spec.dest, seg));
+            }
+        }
+        if live.is_empty() {
+            // Degenerate plan (every segment requested zero frames):
+            // nothing migrates; resume the thread where it stopped.
+            ctx.schedule(elapsed, node, Msg::RunSlice { tid });
+            return;
         }
 
-        // Pre-allocate session ids so return targets can chain.
-        let sids: Vec<SessionId> = plan.segments.iter().map(|_| self.alloc_session()).collect();
+        // Pre-allocate session ids so return targets can chain; the last
+        // live segment always returns `Home`.
+        let sids: Vec<SessionId> = live.iter().map(|_| self.alloc_session()).collect();
         let p = &mut self.programs[program as usize];
         p.staged.clear();
-        for (i, spec) in plan.segments.iter().enumerate() {
-            let seg_frames = segments_frames[i].clone();
-            if seg_frames.is_empty() {
-                continue;
-            }
+        for (i, (dest, seg_frames)) in live.iter().enumerate() {
             let state = CapturedState {
-                frames: seg_frames,
+                frames: seg_frames.clone(),
                 statics: statics.clone(),
             };
-            let return_to = if i + 1 < plan.segments.len() {
+            let return_to = if i + 1 < live.len() {
                 ReturnTarget::Session {
-                    node: plan.segments[i + 1].dest,
+                    node: live[i + 1].0,
                     session: sids[i + 1],
                 }
             } else {
@@ -450,7 +512,7 @@ impl Cluster {
             };
             let state_bytes = state.wire_bytes();
             self.programs[program as usize].staged.push(StagedSegment {
-                dest: spec.dest,
+                dest: *dest,
                 info,
                 state,
                 bundled,
@@ -633,7 +695,7 @@ impl Cluster {
                 }
             }
             "sock_accept" => {
-                if let Some(req) = pop_front(&mut self.nodes[node].sock_queue) {
+                if let Some(req) = self.nodes[node].sock_queue.pop_front() {
                     ctx.schedule(
                         elapsed,
                         node,
@@ -643,7 +705,7 @@ impl Cluster {
                         },
                     );
                 } else {
-                    self.nodes[node].sock_waiters.push(tid);
+                    self.nodes[node].sock_waiters.push_back(tid);
                 }
             }
             "sock_send" => {
@@ -701,7 +763,11 @@ impl Cluster {
                 // Home: lazy local load from the repository.
                 let program = *p;
                 let Some(class) = self.nodes[node].repo.get(&name).cloned() else {
-                    self.fail_program(program, format!("class not found: {name}"), ctx);
+                    self.fail_program(
+                        program,
+                        format!("class not found: {name}"),
+                        ctx.now() + elapsed,
+                    );
                     return;
                 };
                 let cost = costs::class_load_ns(class_wire_bytes(&class));
@@ -801,7 +867,7 @@ impl Cluster {
             self.fail_program(
                 program,
                 format!("unhandled {:?}: {}", e.kind, e.message),
-                ctx,
+                ctx.now() + elapsed,
             );
         } else {
             let sid = self.worker_of(node, tid);
@@ -809,13 +875,12 @@ impl Cluster {
             self.fail_program(
                 program,
                 format!("worker fault {:?}: {}", e.kind, e.message),
-                ctx,
+                ctx.now() + elapsed,
             );
         }
     }
 
     fn finish_program(&mut self, program: ProgramId, retval: Option<Value>, at: u64) {
-        let instr = self.total_instructions();
         let p = &mut self.programs[program as usize];
         if p.done {
             return;
@@ -827,18 +892,33 @@ impl Cluster {
             Value::Num(n) => Some(n as i64),
             _ => None,
         });
-        p.report.instructions = instr;
-        let (home, home_tid) = (p.home, p.home_tid);
+        self.snapshot_stack_height(program);
+    }
+
+    fn fail_program(&mut self, program: ProgramId, error: String, at: u64) {
+        let p = &mut self.programs[program as usize];
+        if p.done {
+            return;
+        }
+        p.done = true;
+        p.error = Some(error);
+        p.report.finished_at_ns = at;
+        // Failure reports carry the same final stats as successes
+        // (`instructions` accrues per slice), so fleet aggregates over
+        // mixed outcomes stay comparable.
+        self.snapshot_stack_height(program);
+    }
+
+    /// Record the home thread's maximum stack height (Table I `h`) on the
+    /// program's report, shared by the success and failure paths.
+    fn snapshot_stack_height(&mut self, program: ProgramId) {
+        let (home, home_tid) = {
+            let p = &self.programs[program as usize];
+            (p.home, p.home_tid)
+        };
         if let Ok(t) = self.nodes[home].vm.thread(home_tid) {
             self.programs[program as usize].report.max_stack_height = t.max_height;
         }
-    }
-
-    fn fail_program(&mut self, program: ProgramId, error: String, ctx: &mut SimCtx<'_, Msg>) {
-        let p = &mut self.programs[program as usize];
-        p.done = true;
-        p.error = Some(error);
-        p.report.finished_at_ns = ctx.now();
     }
 
     // ------------------------------------------------------------------
@@ -1052,11 +1132,12 @@ impl Cluster {
     ) {
         let arrived = ctx.now();
         let window = arrived.saturating_sub(sent_at);
-        let total_b = (state_bytes + class_bytes).max(1);
+        let (transfer_state_ns, transfer_class_ns) =
+            split_transfer_window(window, state_bytes, class_bytes);
         let timings = MigrationTimings {
             capture_ns,
-            transfer_state_ns: window * state_bytes / total_b,
-            transfer_class_ns: window * class_bytes / total_b,
+            transfer_state_ns,
+            transfer_class_ns,
             restore_ns: 0,
             state_bytes,
             class_bytes,
@@ -1114,6 +1195,11 @@ impl Cluster {
             ctx.schedule(prep, node, Msg::BeginRestore { session: sid });
         } else {
             let home = info.home;
+            // Request in sorted order: `HashSet` iteration order varies
+            // between set instances, and request order decides event
+            // sequence numbers — the determinism the fleet suite pins.
+            let mut missing: Vec<String> = missing.into_iter().collect();
+            missing.sort_unstable();
             for name in missing {
                 self.programs[info.program as usize].report.classes_shipped += 1;
                 ctx.send_after(
@@ -1150,7 +1236,7 @@ impl Cluster {
             let state = self.sessions[&sid].state.clone();
             let tid = begin_handler_restore(&mut self.nodes[node].vm, &state)
                 .expect("handler restore begins");
-            self.nodes[node].vm.interp_mode = true;
+            self.nodes[node].vm.threads[tid].interp_mode = true;
             self.thread_owner.insert((node, tid), Owner::Worker(sid));
             let w = self.sessions.get_mut(&sid).unwrap();
             w.tid = tid;
@@ -1215,8 +1301,7 @@ impl Cluster {
         // cbBreakpoint (paper Fig. 4b): set the next frame's breakpoint,
         // point the restore cursor at this frame, throw the restoration
         // exception, resume.
-        self.nodes[node]
-            .vm
+        self.nodes[node].vm.threads[tid]
             .restore_session
             .as_mut()
             .expect("restore session")
@@ -1226,7 +1311,7 @@ impl Cluster {
             let vm = &mut self.nodes[node].vm;
             let ci = vm.class_idx(&next.class).expect("restored class");
             let mi = vm.classes[ci].method_idx(&next.method).expect("method");
-            vm.set_breakpoint(ci, mi, 0);
+            vm.set_breakpoint(tid, ci, mi, 0);
         }
         if let WorkerPhase::Restoring { restored: r, .. } =
             &mut self.sessions.get_mut(&sid).unwrap().phase
@@ -1263,7 +1348,7 @@ impl Cluster {
         if !done {
             return;
         }
-        self.nodes[node].vm.interp_mode = false;
+        self.nodes[node].vm.threads[tid].interp_mode = false;
         let arrived = self.sessions[&sid].arrived_at;
         let class_wait = self.sessions[&sid].class_wait_ns;
         let w = self.sessions.get_mut(&sid).unwrap();
@@ -1538,12 +1623,15 @@ impl Cluster {
     }
 }
 
-fn pop_front(v: &mut Vec<String>) -> Option<String> {
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.remove(0))
-    }
+/// Split a transfer window between its state and class portions,
+/// proportionally to their byte counts. Integer division rounds the class
+/// share down and the remainder goes to the state share, so the two
+/// portions always sum to the exact window and
+/// [`MigrationTimings::latency_ns`] is conserved.
+fn split_transfer_window(window: u64, state_bytes: u64, class_bytes: u64) -> (u64, u64) {
+    let total_b = (state_bytes + class_bytes).max(1);
+    let class_ns = window * class_bytes / total_b;
+    (window - class_ns, class_ns)
 }
 
 /// Deliver a return value to a thread whose top frame is parked at the
@@ -1572,6 +1660,7 @@ impl World for Cluster {
                     .spawn(&class, &method, &args)
                     .expect("spawn program");
                 self.programs[program as usize].home_tid = tid;
+                self.programs[program as usize].report.started_at_ns = ctx.now();
                 self.thread_owner.insert((dst, tid), Owner::Root(program));
                 ctx.schedule(0, dst, Msg::RunSlice { tid });
             }
@@ -1743,7 +1832,7 @@ impl World for Cluster {
                 ctx.schedule(scan, dst, Msg::HostDone { tid, reply: result });
             }
             Msg::ClientRequest { payload } => {
-                if let Some(tid) = self.nodes[dst].sock_waiters.pop() {
+                if let Some(tid) = self.nodes[dst].sock_waiters.pop_front() {
                     ctx.schedule(
                         0,
                         dst,
@@ -1753,7 +1842,7 @@ impl World for Cluster {
                         },
                     );
                 } else {
-                    self.nodes[dst].sock_queue.push(payload);
+                    self.nodes[dst].sock_queue.push_back(payload);
                 }
             }
         }
@@ -1822,6 +1911,12 @@ impl SodSim {
     /// The report of a completed program.
     pub fn report(&self, program: ProgramId) -> &RunReport {
         &self.sim.world.programs[program as usize].report
+    }
+
+    /// Aggregate fleet metrics over every registered program (see
+    /// [`Cluster::cluster_report`]).
+    pub fn cluster_report(&self) -> ClusterReport {
+        self.sim.world.cluster_report()
     }
 
     pub fn program(&self, program: ProgramId) -> &Program {
@@ -1910,4 +2005,28 @@ fn collect_flush(vm: &mut sod_vm::interp::Vm, retval: Option<Value>) -> (Vec<Wir
     vm.heap.clear_dirty();
     let bytes = out.iter().map(|o| o.wire_bytes()).sum();
     (out, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_transfer_window;
+
+    #[test]
+    fn transfer_window_split_is_conserved() {
+        // Odd byte ratios used to leave up to 1 ns unaccounted.
+        for (window, state, class) in [
+            (1_000_003u64, 7u64, 3u64),
+            (999_999, 1, 2),
+            (5, 3, 3),
+            (17, 0, 9),
+            (17, 9, 0),
+            (0, 4, 4),
+            (123_456_789, 1_000_000, 333_333),
+        ] {
+            let (s, c) = split_transfer_window(window, state, class);
+            assert_eq!(s + c, window, "window={window} state={state} class={class}");
+        }
+        // Degenerate zero-byte message: the whole window is state time.
+        assert_eq!(split_transfer_window(42, 0, 0), (42, 0));
+    }
 }

@@ -103,7 +103,9 @@ pub mod node;
 pub mod trigger;
 
 pub use engine::{Cluster, FetchPolicy, SodSim};
-pub use metrics::{MigrationTimings, RunReport};
+pub use metrics::{
+    percentile_nearest_rank, ClusterReport, MigrationTimings, NodeUtilization, RunReport,
+};
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};
 pub use trigger::{ArmedTrigger, Trigger};

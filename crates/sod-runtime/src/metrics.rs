@@ -38,6 +38,9 @@ impl MigrationTimings {
 /// property the scenario-equivalence tests pin.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
+    /// Virtual time the program's root thread was spawned (request
+    /// arrival, for fleet latency accounting).
+    pub started_at_ns: u64,
     /// Virtual completion time of the program (home node observes it).
     pub finished_at_ns: u64,
     /// Root return value rendered as i64 where applicable.
@@ -61,6 +64,109 @@ impl RunReport {
     pub fn total_migration_latency_ns(&self) -> u64 {
         self.migrations.iter().map(|m| m.latency_ns()).sum()
     }
+
+    /// Request completion latency: spawn → finish on the home node.
+    pub fn latency_ns(&self) -> u64 {
+        self.finished_at_ns.saturating_sub(self.started_at_ns)
+    }
+}
+
+/// The *nearest-rank* percentile of an ascending-sorted sample.
+///
+/// For a sample of `n` values and percentile `p` (0 < p ≤ 100), the
+/// nearest-rank definition picks the value at rank `⌈p/100 · n⌉`
+/// (1-based); it is always an observed sample value, never an
+/// interpolation. An empty sample yields 0.
+pub fn percentile_nearest_rank(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
+    let p = p.clamp(1, 100) as u64;
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1);
+    sorted[rank as usize - 1]
+}
+
+/// Work done by one node over a whole fleet run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeUtilization {
+    /// The node's configured name.
+    pub name: String,
+    /// Guest instructions retired on this node (root + worker threads).
+    pub instructions: u64,
+    /// Execution slices dispatched on this node.
+    pub slices: u64,
+    /// Virtual ns the node spent executing guest code (CPU-scaled).
+    pub busy_ns: u64,
+}
+
+/// Aggregate outcome of a multi-program (fleet) run.
+///
+/// Per-request completion latencies (spawn → finish of each program's
+/// root thread) are summarized as **nearest-rank percentiles** — see
+/// [`percentile_nearest_rank`] for the exact definition — alongside
+/// throughput and per-node utilization. All fields are integers so two
+/// byte-identical runs compare equal (the determinism suite relies on
+/// this).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Programs registered with the cluster.
+    pub launched: u64,
+    /// Programs that ran to completion without error.
+    pub completed: u64,
+    /// Programs that finished with an error (`launched - completed -
+    /// failed` are still in flight / deadlocked when the sim idles).
+    pub failed: u64,
+    /// Median completion latency (nearest-rank, completed programs only).
+    pub p50_latency_ns: u64,
+    /// 95th-percentile completion latency (nearest-rank).
+    pub p95_latency_ns: u64,
+    /// 99th-percentile completion latency (nearest-rank).
+    pub p99_latency_ns: u64,
+    /// Arithmetic mean completion latency (integer division).
+    pub mean_latency_ns: u64,
+    /// Worst observed completion latency.
+    pub max_latency_ns: u64,
+    /// Virtual time when the last program finished (completed or failed).
+    pub makespan_ns: u64,
+    /// Completed programs per virtual second, ×1000 (milli-requests/s).
+    pub throughput_millirps: u64,
+    /// Per-node work, in node-declaration order.
+    pub per_node: Vec<NodeUtilization>,
+}
+
+impl ClusterReport {
+    /// Aggregate a fleet run from its raw per-request latencies.
+    ///
+    /// `latencies` are the completed programs' completion latencies (any
+    /// order; sorted internally), `makespan_ns` the virtual time the last
+    /// program finished.
+    pub fn aggregate(
+        launched: u64,
+        mut latencies: Vec<u64>,
+        failed: u64,
+        makespan_ns: u64,
+        per_node: Vec<NodeUtilization>,
+    ) -> Self {
+        latencies.sort_unstable();
+        let completed = latencies.len() as u64;
+        let sum: u64 = latencies.iter().sum();
+        ClusterReport {
+            launched,
+            completed,
+            failed,
+            p50_latency_ns: percentile_nearest_rank(&latencies, 50),
+            p95_latency_ns: percentile_nearest_rank(&latencies, 95),
+            p99_latency_ns: percentile_nearest_rank(&latencies, 99),
+            mean_latency_ns: sum / completed.max(1),
+            max_latency_ns: latencies.last().copied().unwrap_or(0),
+            makespan_ns,
+            throughput_millirps: (completed * 1_000_000_000_000)
+                .checked_div(makespan_ns)
+                .unwrap_or(0),
+            per_node,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +183,53 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(t.latency_ns(), 10);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile_nearest_rank(&[], 50), 0);
+        let one = [7u64];
+        for p in [1, 50, 95, 99, 100] {
+            assert_eq!(percentile_nearest_rank(&one, p), 7);
+        }
+        // Canonical nearest-rank example: 5 samples.
+        let s = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile_nearest_rank(&s, 30), 20); // ⌈0.30·5⌉ = 2
+        assert_eq!(percentile_nearest_rank(&s, 40), 20);
+        assert_eq!(percentile_nearest_rank(&s, 50), 35);
+        assert_eq!(percentile_nearest_rank(&s, 100), 50);
+        // p99 of 100 samples is the 99th value, not the max.
+        let big: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&big, 99), 99);
+        assert_eq!(percentile_nearest_rank(&big, 50), 50);
+    }
+
+    #[test]
+    fn cluster_report_aggregates() {
+        let r = ClusterReport::aggregate(
+            5,
+            vec![30, 10, 20, 40],
+            1,
+            2_000_000_000,
+            vec![NodeUtilization {
+                name: "n0".into(),
+                instructions: 99,
+                slices: 3,
+                busy_ns: 7,
+            }],
+        );
+        assert_eq!((r.launched, r.completed, r.failed), (5, 4, 1));
+        assert_eq!(r.p50_latency_ns, 20);
+        assert_eq!(r.p99_latency_ns, 40);
+        assert_eq!(r.mean_latency_ns, 25);
+        assert_eq!(r.max_latency_ns, 40);
+        // 4 completions over 2 virtual seconds = 2 req/s = 2000 milli-rps.
+        assert_eq!(r.throughput_millirps, 2000);
+        assert_eq!(r.per_node.len(), 1);
+        // Empty fleets aggregate to zeros, not a division panic.
+        let empty = ClusterReport::aggregate(0, vec![], 0, 0, vec![]);
+        assert_eq!(empty.completed, 0);
+        assert_eq!(empty.throughput_millirps, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Node model: configuration profiles and per-node state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use sod_vm::class::ClassDef;
 use sod_vm::interp::Vm;
@@ -87,10 +87,17 @@ pub struct Node {
     /// Class files available locally (the home node holds the application;
     /// workers populate this as classes ship in).
     pub repo: HashMap<String, ClassDef>,
-    /// Pending photo-server requests (socket accept queue).
-    pub sock_queue: Vec<String>,
-    /// Thread ids parked in `sock_accept` waiting for a request.
-    pub sock_waiters: Vec<usize>,
+    /// Pending client requests (socket accept queue), served FIFO. A ring
+    /// buffer: fleet generators push hundreds of requests, so the O(n)
+    /// `Vec::remove(0)` pop would make every accept linear in the backlog.
+    pub sock_queue: VecDeque<String>,
+    /// Thread ids parked in `sock_accept` waiting for a request, served
+    /// FIFO (first waiter gets the next request).
+    pub sock_waiters: VecDeque<usize>,
+    /// Execution slices dispatched on this node (utilization accounting).
+    pub slices: u64,
+    /// Virtual ns spent executing guest code (CPU-scaled; utilization).
+    pub busy_ns: u64,
 }
 
 impl Node {
@@ -103,8 +110,10 @@ impl Node {
             vm,
             fs: SimFs::new(),
             repo: HashMap::new(),
-            sock_queue: Vec::new(),
-            sock_waiters: Vec::new(),
+            sock_queue: VecDeque::new(),
+            sock_waiters: VecDeque::new(),
+            slices: 0,
+            busy_ns: 0,
         }
     }
 

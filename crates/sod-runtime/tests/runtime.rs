@@ -423,3 +423,140 @@ fn deep_fetch_reduces_fault_count() {
         "one fault per list node, got {shallow_faults}"
     );
 }
+
+/// Regression: a chain plan deeper than the live stack used to wire the
+/// last live segment's return target at a pre-allocated session for the
+/// empty tail segment — a session that was never created, so the return
+/// panicked at `expect("chained session")`. Empty segments are now
+/// filtered before session ids are allocated, and the last *live* segment
+/// returns `Home`.
+#[test]
+fn chain_plan_deeper_than_stack_returns_home() {
+    let class = app_class();
+    let n = 500_000i64;
+    // Stack height at the MSP inside `work` is 2 (main + work), but the
+    // plan asks for four single-frame segments across three nodes.
+    let report = scenario_of(4, &class)
+        .program("App", "main", vec![Value::Int(n)])
+        .migrate(
+            When::At(2 * MS),
+            Plan::chain(&[("n1", 1), ("n2", 1), ("n3", 1), ("n1", 1)]),
+        )
+        .run()
+        .unwrap();
+    let r = report.first();
+    assert_eq!(r.result, Some(expected(n)));
+    // Only the two live segments shipped and restored.
+    assert_eq!(r.migrations.len(), 2, "empty tail segments must be dropped");
+}
+
+/// Server guest: accept `nreq` requests, folding each payload's length
+/// into a base-100 digit so the result encodes the exact service order.
+fn order_probe_class(nreq: i64) -> ClassDef {
+    let c = ClassBuilder::new("Srv")
+        .method("main", &[], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").pushi(nreq).if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.native("sock_accept", 0).store("req");
+            m.line();
+            m.load("acc")
+                .pushi(100)
+                .mul()
+                .load("req")
+                .native("str_len", 1)
+                .add()
+                .store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .build()
+        .unwrap();
+    preprocess_sod(&c).unwrap()
+}
+
+/// The accept queue delivers queued client requests strictly FIFO
+/// (pinned while moving `sock_queue` from `Vec::remove(0)` to a
+/// `VecDeque`): payloads of lengths 1..=3 injected in order must fold to
+/// 10203, any reordering yields a different digit string.
+#[test]
+fn sock_queue_serves_requests_fifo() {
+    let report = scenario_of(1, &order_probe_class(3))
+        .program("Srv", "main", vec![])
+        .client_request_at(0, "n0", "a")
+        .client_request_at(0, "n0", "bb")
+        .client_request_at(0, "n0", "ccc")
+        .run()
+        .unwrap();
+    assert_eq!(report.first().result, Some(10203));
+}
+
+/// Parked accept loops are also served FIFO: with two server programs
+/// parked in `sock_accept`, the first one to park gets the first request.
+#[test]
+fn sock_waiters_are_served_in_park_order() {
+    let class = order_probe_class(1);
+    let report = scenario_of(1, &class)
+        .program("Srv", "main", vec![])
+        .program("Srv", "main", vec![])
+        .client_request_at(5 * MS, "n0", "x")
+        .client_request_at(5 * MS, "n0", "yy")
+        .run()
+        .unwrap();
+    // Program 0 starts (and parks) first, so it serves the length-1
+    // payload; program 1 the length-2 payload.
+    assert_eq!(report.report(0).result, Some(1));
+    assert_eq!(report.report(1).result, Some(2));
+}
+
+/// Failed programs carry the same final stats as successes: instructions
+/// accrue per slice and the stack height is snapshotted on failure, so
+/// fleet aggregates over mixed outcomes stay comparable.
+#[test]
+fn failed_program_reports_instructions_and_height() {
+    let class = ClassBuilder::new("Alloc")
+        .method("grow", &["n"], |m| {
+            m.line();
+            m.load("n").newarr().arrlen().retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Alloc", "grow", 1).store("r");
+            m.line();
+            m.load("r").retv();
+        })
+        .build()
+        .unwrap();
+    let class = preprocess_sod(&class).unwrap();
+    let tiny = NodeConfig {
+        mem_limit: Some(64),
+        ..NodeConfig::cluster("tiny")
+    };
+    // A fleet member's failure is recorded instead of aborting the run.
+    let report = Scenario::new()
+        .node("tiny", tiny)
+        .deploys(&class)
+        .fleet(sod::scenario::Fleet::new(
+            "Alloc",
+            "main",
+            vec![Value::Int(1_000)],
+        ))
+        .run()
+        .unwrap();
+    let p = &report.programs()[0];
+    assert!(p.error.as_deref().unwrap().contains("OutOfMemory"));
+    assert!(p.report.instructions > 0, "instructions must be recorded");
+    assert!(
+        p.report.max_stack_height >= 2,
+        "main + grow were live at the fault"
+    );
+    assert!(p.report.finished_at_ns > 0);
+    assert_eq!(report.cluster.failed, 1);
+}

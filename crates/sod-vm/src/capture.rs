@@ -334,7 +334,12 @@ pub fn begin_handler_restore(vm: &mut Vm, state: &CapturedState) -> VmResult<usi
         .map(|v| v.to_nulled_value())
         .collect();
 
-    vm.restore_session = Some(RestoreSession {
+    let names: (String, String) = (bottom.class.clone(), bottom.method.clone());
+    let tid = vm.spawn(&names.0, &names.1, &args)?;
+    vm.threads[tid].seg_frames = state.frames.len();
+    // Session and breakpoint are thread-scoped: concurrent restores on a
+    // shared destination node must not clobber each other.
+    vm.threads[tid].restore_session = Some(RestoreSession {
         frames: state
             .frames
             .iter()
@@ -342,11 +347,7 @@ pub fn begin_handler_restore(vm: &mut Vm, state: &CapturedState) -> VmResult<usi
             .collect(),
         cursor: 0,
     });
-
-    let names: (String, String) = (bottom.class.clone(), bottom.method.clone());
-    let tid = vm.spawn(&names.0, &names.1, &args)?;
-    vm.threads[tid].seg_frames = state.frames.len();
-    vm.set_breakpoint(ci, mi, 0);
+    vm.set_breakpoint(tid, ci, mi, 0);
     Ok(tid)
 }
 

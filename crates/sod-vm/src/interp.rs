@@ -181,6 +181,14 @@ pub struct VmThread {
     /// Number of the bottom frames restored from a migrated segment; frames
     /// `0..seg_frames` correspond to home segment frames 0..n (bottom-up).
     pub seg_frames: usize,
+    /// Active restoration session, if any. Per-thread: concurrent
+    /// handler-protocol restores (multi-tenant destinations) each carry
+    /// their own cursor and captured frames.
+    pub restore_session: Option<RestoreSession>,
+    /// When true, this thread's instruction costs are multiplied by
+    /// [`INTERP_MODE_FACTOR`] (debugger active → interpreted mode during
+    /// a handler-protocol restore).
+    pub interp_mode: bool,
 }
 
 impl VmThread {
@@ -192,6 +200,8 @@ impl VmThread {
             npe_origin_pc: None,
             max_height: 0,
             seg_frames: 0,
+            restore_session: None,
+            interp_mode: false,
         }
     }
 
@@ -206,6 +216,8 @@ impl VmThread {
             npe_origin_pc: None,
             max_height: height,
             seg_frames: 0,
+            restore_session: None,
+            interp_mode: false,
         }
     }
 
@@ -291,17 +303,15 @@ pub struct Vm {
     interned: HashMap<String, ObjId>,
     /// Captured `print` output.
     pub stdout: Vec<String>,
-    /// Armed breakpoints (class_idx, method_idx, pc).
-    breakpoints: Vec<(usize, usize, u32)>,
-    /// Active restoration session, if any.
-    pub restore_session: Option<RestoreSession>,
+    /// Armed breakpoints (tid, class_idx, method_idx, pc). Thread-scoped:
+    /// with many migrated segments restoring concurrently on one node,
+    /// a breakpoint armed for one restoring thread must never trip on
+    /// another thread running the same method.
+    breakpoints: Vec<(usize, usize, usize, u32)>,
     /// Virtual nanoseconds of guest execution accumulated so far.
     pub meter_ns: u64,
     /// Instructions retired.
     pub instr_count: u64,
-    /// When true, instruction costs are multiplied by
-    /// [`INTERP_MODE_FACTOR`] (debugger active → interpreted mode).
-    pub interp_mode: bool,
     /// Per-mille execution cost scale ≥ 1000; models the idle overhead of an
     /// attached tooling agent (the paper's C1) and slower JITs (JESSICA2).
     pub cost_scale_per_mille: u32,
@@ -325,10 +335,8 @@ impl Vm {
             interned: HashMap::new(),
             stdout: Vec::new(),
             breakpoints: Vec::new(),
-            restore_session: None,
             meter_ns: 0,
             instr_count: 0,
-            interp_mode: false,
             cost_scale_per_mille: 1000,
             mem_limit: None,
         }
@@ -443,15 +451,18 @@ impl Vm {
     // Breakpoints (tooling support)
     // ------------------------------------------------------------------
 
-    pub fn set_breakpoint(&mut self, class_idx: usize, method_idx: usize, pc: u32) {
-        if !self.breakpoints.contains(&(class_idx, method_idx, pc)) {
-            self.breakpoints.push((class_idx, method_idx, pc));
+    /// Arm a breakpoint for thread `tid` at `(class, method, pc)`. Only
+    /// `tid` stepping onto that location trips (and disarms) it; other
+    /// threads executing the same method pass through.
+    pub fn set_breakpoint(&mut self, tid: usize, class_idx: usize, method_idx: usize, pc: u32) {
+        if !self.breakpoints.contains(&(tid, class_idx, method_idx, pc)) {
+            self.breakpoints.push((tid, class_idx, method_idx, pc));
         }
     }
 
-    pub fn clear_breakpoint(&mut self, class_idx: usize, method_idx: usize, pc: u32) {
+    pub fn clear_breakpoint(&mut self, tid: usize, class_idx: usize, method_idx: usize, pc: u32) {
         self.breakpoints
-            .retain(|&b| b != (class_idx, method_idx, pc));
+            .retain(|&b| b != (tid, class_idx, method_idx, pc));
     }
 
     pub fn breakpoints_armed(&self) -> usize {
@@ -480,7 +491,7 @@ impl Vm {
         if let Some(bp_pos) = self
             .breakpoints
             .iter()
-            .position(|&(c, m, p)| (c, m, p) == (ci, mi, pc))
+            .position(|&(t, c, m, p)| (t, c, m, p) == (tid, ci, mi, pc))
         {
             self.breakpoints.swap_remove(bp_pos);
             return Ok(StepOutcome::Breakpoint {
@@ -498,15 +509,15 @@ impl Vm {
             }
         };
 
-        self.charge(instr_cost(&instr));
+        self.charge(tid, instr_cost(&instr));
         self.instr_count += 1;
 
         self.exec_instr(tid, ci, mi, pc, instr)
     }
 
-    fn charge(&mut self, ns: u64) {
+    fn charge(&mut self, tid: usize, ns: u64) {
         let mut cost = ns;
-        if self.interp_mode {
+        if self.threads[tid].interp_mode {
             cost *= u64::from(INTERP_MODE_FACTOR);
         }
         cost = cost * u64::from(self.cost_scale_per_mille) / 1000;
@@ -859,7 +870,7 @@ impl Vm {
                 return Err(out);
             }
         }
-        self.charge(alloc_cost(bytes_estimate));
+        self.charge(tid, alloc_cost(bytes_estimate));
         Ok(alloc(&mut self.heap))
     }
 
@@ -1377,7 +1388,7 @@ impl Vm {
                 }
             }
             ReadCaptured(slot) => {
-                let session = self
+                let session = self.threads[tid]
                     .restore_session
                     .as_ref()
                     .ok_or(VmError::RestoreProtocol("ReadCaptured without session"))?;
@@ -1393,7 +1404,7 @@ impl Vm {
                 advance!()
             }
             ReadCapturedPc => {
-                let session = self
+                let session = self.threads[tid]
                     .restore_session
                     .as_ref()
                     .ok_or(VmError::RestoreProtocol("ReadCapturedPc without session"))?;
@@ -1544,7 +1555,7 @@ impl Vm {
                 advance!()
             }
             RestoreLocal(slot) => {
-                let session = self
+                let session = self.threads[tid]
                     .restore_session
                     .as_ref()
                     .ok_or(VmError::RestoreProtocol("RestoreLocal without session"))?;
@@ -2043,7 +2054,12 @@ mod tests {
         let c = main_class(vec![Instr::PushI(1), Instr::RetV], vec![1, 1], 0);
         let mut vm = vm_with(&[c]);
         let tid = vm.spawn("Main", "main", &[]).unwrap();
-        vm.set_breakpoint(0, 0, 0);
+        vm.set_breakpoint(tid, 0, 0, 0);
+        // A different thread on the same location sails through: the
+        // breakpoint is armed for `tid` alone.
+        let other = vm.spawn("Main", "main", &[]).unwrap();
+        let (out, _) = vm.run(other, u64::MAX, RunMode::Normal).unwrap();
+        assert!(matches!(out, StepOutcome::Returned(_)));
         let out = vm.step(tid).unwrap();
         assert!(matches!(out, StepOutcome::Breakpoint { pc: 0, .. }));
         // Disarmed: next step executes normally.
@@ -2119,8 +2135,10 @@ mod tests {
         let mut vm1 = vm_with(std::slice::from_ref(&c));
         vm1.run_to_completion("Main", "main", &[]).unwrap();
         let mut vm2 = vm_with(&[c]);
-        vm2.interp_mode = true;
-        vm2.run_to_completion("Main", "main", &[]).unwrap();
+        let tid = vm2.spawn("Main", "main", &[]).unwrap();
+        vm2.threads[tid].interp_mode = true;
+        let (out, _) = vm2.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert!(matches!(out, StepOutcome::Returned(_)));
         assert_eq!(vm2.meter_ns, vm1.meter_ns * u64::from(INTERP_MODE_FACTOR));
     }
 

@@ -207,10 +207,10 @@ impl<'a> Tooling<'a> {
         Ok(())
     }
 
-    /// `SetBreakpoint`.
-    pub fn set_breakpoint(&mut self, class_idx: usize, method_idx: usize, pc: u32) {
+    /// `SetBreakpoint` (thread-scoped, like the VM's breakpoint table).
+    pub fn set_breakpoint(&mut self, tid: usize, class_idx: usize, method_idx: usize, pc: u32) {
         self.c(jvmti::SET_BREAKPOINT_NS, internal::GET_FRAME_LOCATION_NS);
-        self.vm.set_breakpoint(class_idx, method_idx, pc);
+        self.vm.set_breakpoint(tid, class_idx, method_idx, pc);
     }
 
     /// Throw `InvalidStateException` into the thread (restoration driver).

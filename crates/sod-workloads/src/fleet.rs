@@ -1,0 +1,203 @@
+//! Open-loop fleet request generation: deterministic arrival schedules.
+//!
+//! The paper evaluates one program at a time; cloud-elasticity claims need
+//! *fleets* — hundreds of concurrent programs arriving like production
+//! traffic. An [`ArrivalSchedule`] describes when requests enter the
+//! system, **open-loop**: arrival times are fixed up front and never react
+//! to completions, so a slow cluster builds a backlog exactly as a real
+//! overloaded service would.
+//!
+//! Schedules are pure functions of `(schedule, count, seed)`. Jitter is
+//! drawn from the repository's deterministic proptest-shim PRNG
+//! ([`TestRng`]), never a wall clock, so the same seed always produces the
+//! same virtual-time schedule — the property the fleet determinism suite
+//! pins.
+
+use proptest::test_runner::TestRng;
+
+/// When fleet requests arrive, in virtual ns since the scenario start.
+///
+/// Every variant carries a `jitter_ns` bound: each arrival is offset by a
+/// value drawn uniformly from `[0, jitter_ns]` (a draw happens even when
+/// the bound is 0, so adding jitter never reshuffles the underlying PRNG
+/// stream). The generated schedule is sorted ascending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalSchedule {
+    /// One request every `period_ns` (constant offered load).
+    Uniform { period_ns: u64, jitter_ns: u64 },
+    /// Groups of `burst` simultaneous requests separated by `gap_ns`
+    /// (flash crowds; stresses accept queues and migration managers).
+    Bursty {
+        burst: usize,
+        gap_ns: u64,
+        jitter_ns: u64,
+    },
+    /// Inter-arrival time slides linearly from `first_period_ns` (first
+    /// request) to `last_period_ns` (last request): a load ramp-up when
+    /// the period shrinks, a drain when it grows.
+    Ramp {
+        first_period_ns: u64,
+        last_period_ns: u64,
+        jitter_ns: u64,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Constant load without jitter: one request every `period_ns`.
+    pub fn uniform(period_ns: u64) -> Self {
+        ArrivalSchedule::Uniform {
+            period_ns,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Flash crowds without jitter: `burst` requests every `gap_ns`.
+    pub fn bursty(burst: usize, gap_ns: u64) -> Self {
+        ArrivalSchedule::Bursty {
+            burst: burst.max(1),
+            gap_ns,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Linear ramp without jitter, from `first_period_ns` between the
+    /// first two requests to `last_period_ns` between the last two.
+    pub fn ramp(first_period_ns: u64, last_period_ns: u64) -> Self {
+        ArrivalSchedule::Ramp {
+            first_period_ns,
+            last_period_ns,
+            jitter_ns: 0,
+        }
+    }
+
+    /// Replace the jitter bound (0 disables jitter again).
+    pub fn with_jitter(self, jitter_ns: u64) -> Self {
+        match self {
+            ArrivalSchedule::Uniform { period_ns, .. } => ArrivalSchedule::Uniform {
+                period_ns,
+                jitter_ns,
+            },
+            ArrivalSchedule::Bursty { burst, gap_ns, .. } => ArrivalSchedule::Bursty {
+                burst,
+                gap_ns,
+                jitter_ns,
+            },
+            ArrivalSchedule::Ramp {
+                first_period_ns,
+                last_period_ns,
+                ..
+            } => ArrivalSchedule::Ramp {
+                first_period_ns,
+                last_period_ns,
+                jitter_ns,
+            },
+        }
+    }
+
+    /// Generate `count` arrival times (virtual ns, ascending) for this
+    /// schedule, deterministically from `seed`.
+    pub fn arrival_times(&self, count: usize, seed: u64) -> Vec<u64> {
+        let mut rng = TestRng::from_seed(seed);
+        let jitter_bound = match *self {
+            ArrivalSchedule::Uniform { jitter_ns, .. }
+            | ArrivalSchedule::Bursty { jitter_ns, .. }
+            | ArrivalSchedule::Ramp { jitter_ns, .. } => jitter_ns,
+        };
+        let mut times = Vec::with_capacity(count);
+        let mut ramp_clock = 0u64;
+        for i in 0..count {
+            let base = match *self {
+                ArrivalSchedule::Uniform { period_ns, .. } => i as u64 * period_ns,
+                ArrivalSchedule::Bursty { burst, gap_ns, .. } => (i / burst.max(1)) as u64 * gap_ns,
+                ArrivalSchedule::Ramp {
+                    first_period_ns,
+                    last_period_ns,
+                    ..
+                } => {
+                    let at = ramp_clock;
+                    // Period between request i and i+1. Only count-1 gaps
+                    // exist (the period computed at the last request is
+                    // never consumed), so interpolate over count-2 steps:
+                    // the first gap is first_period_ns, the last gap is
+                    // exactly last_period_ns.
+                    let steps = count.saturating_sub(2).max(1) as u64;
+                    // Clamp: the period computed at the final request is
+                    // dead (no gap follows), so don't extrapolate past the
+                    // endpoint.
+                    let step = (i as u64).min(steps);
+                    let period = if last_period_ns >= first_period_ns {
+                        first_period_ns + (last_period_ns - first_period_ns) * step / steps
+                    } else {
+                        first_period_ns - (first_period_ns - last_period_ns) * step / steps
+                    };
+                    ramp_clock += period;
+                    at
+                }
+            };
+            times.push(base + rng.below(jitter_bound.saturating_add(1).max(1)));
+        }
+        times.sort_unstable();
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for s in [
+            ArrivalSchedule::uniform(1_000).with_jitter(500),
+            ArrivalSchedule::bursty(8, 50_000).with_jitter(2_000),
+            ArrivalSchedule::ramp(10_000, 100).with_jitter(64),
+        ] {
+            let a = s.arrival_times(100, 42);
+            let b = s.arrival_times(100, 42);
+            assert_eq!(a, b, "{s:?}");
+            let c = s.arrival_times(100, 43);
+            assert_ne!(a, c, "different seeds must perturb {s:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_periodic_without_jitter() {
+        let t = ArrivalSchedule::uniform(250).arrival_times(5, 7);
+        assert_eq!(t, vec![0, 250, 500, 750, 1000]);
+        // Seed is irrelevant without jitter.
+        assert_eq!(t, ArrivalSchedule::uniform(250).arrival_times(5, 8));
+    }
+
+    #[test]
+    fn bursty_groups_share_an_instant() {
+        let t = ArrivalSchedule::bursty(3, 1_000).arrival_times(7, 0);
+        assert_eq!(t, vec![0, 0, 0, 1_000, 1_000, 1_000, 2_000]);
+    }
+
+    #[test]
+    fn ramp_compresses_interarrival_times() {
+        let t = ArrivalSchedule::ramp(1_000, 100).arrival_times(10, 0);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        let first_gap = t[1] - t[0];
+        let last_gap = t[9] - t[8];
+        // The endpoints are hit exactly, per the constructor's contract.
+        assert_eq!(first_gap, 1_000);
+        assert_eq!(last_gap, 100);
+        assert!(
+            first_gap > last_gap,
+            "ramp must speed up: {first_gap} vs {last_gap}"
+        );
+        // And the reverse ramp drains.
+        let d = ArrivalSchedule::ramp(100, 1_000).arrival_times(10, 0);
+        assert!(d[1] - d[0] < d[9] - d[8]);
+    }
+
+    #[test]
+    fn output_is_sorted_even_with_large_jitter() {
+        let t = ArrivalSchedule::uniform(10)
+            .with_jitter(100_000)
+            .arrival_times(200, 3);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(t.len(), 200);
+    }
+}

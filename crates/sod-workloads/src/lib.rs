@@ -14,7 +14,9 @@
 
 pub mod apps;
 pub mod characteristics;
+pub mod fleet;
 pub mod programs;
 
 pub use characteristics::{characterize, Characteristics};
+pub use fleet::ArrivalSchedule;
 pub use programs::{fft_class, fib_class, nqueens_class, tsp_class, Workload, WORKLOADS};

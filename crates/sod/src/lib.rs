@@ -92,4 +92,6 @@ pub use sod_runtime as runtime;
 pub use sod_vm as vm;
 pub use sod_workloads as workloads;
 
-pub use scenario::{Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
+pub use scenario::{Fleet, Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
+pub use sod_runtime::ClusterReport;
+pub use sod_workloads::ArrivalSchedule;

@@ -61,10 +61,12 @@ use std::fmt;
 use sod_net::{LinkSpec, Topology};
 use sod_runtime::trigger::{ArmedTrigger, Trigger};
 use sod_runtime::{
-    Cluster, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport, SegmentSpec, SodSim,
+    Cluster, ClusterReport, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport, SegmentSpec,
+    SodSim,
 };
 use sod_vm::class::ClassDef;
 use sod_vm::value::Value;
+use sod_workloads::fleet::ArrivalSchedule;
 
 /// Built-in topologies; the node count is taken from the declared nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,6 +154,84 @@ struct ProgramDecl {
     start_at: u64,
     fetch_policy: FetchPolicy,
     migrations: Vec<(When, Plan)>,
+    /// Fleet members tolerate failure (recorded in the report) instead of
+    /// aborting the whole run.
+    from_fleet: bool,
+}
+
+/// A fleet of identical programs launched open-loop: "N clients × M
+/// programs with trigger policy X", declaratively.
+///
+/// Built with [`Fleet::new`] and handed to [`Scenario::fleet`], which
+/// expands it into one program declaration per request: homes assigned
+/// round-robin over [`Fleet::across`] (default: the scenario's first
+/// node), start times drawn from the [`ArrivalSchedule`] with the given
+/// seed, and every member armed with the same migration policies. Unlike
+/// [`Scenario::program`] members, a fleet member that fails does not
+/// abort the run — its error is recorded on its [`ProgramRun`] and
+/// counted in the [`ClusterReport`].
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    class: String,
+    method: String,
+    args: Vec<Value>,
+    programs: usize,
+    across: Vec<String>,
+    schedule: ArrivalSchedule,
+    seed: u64,
+    fetch_policy: FetchPolicy,
+    migrations: Vec<(When, Plan)>,
+}
+
+impl Fleet {
+    /// A fleet of one `class::method(args)` request (grow it with
+    /// [`Fleet::programs`]). The default schedule is
+    /// [`ArrivalSchedule::uniform`] at 1 ms, seed 0.
+    pub fn new(class: impl Into<String>, method: impl Into<String>, args: Vec<Value>) -> Self {
+        Fleet {
+            class: class.into(),
+            method: method.into(),
+            args,
+            programs: 1,
+            across: Vec::new(),
+            schedule: ArrivalSchedule::uniform(sod_net::MS),
+            seed: 0,
+            fetch_policy: FetchPolicy::default(),
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Number of concurrent programs (requests) in the fleet.
+    pub fn programs(mut self, n: usize) -> Self {
+        self.programs = n;
+        self
+    }
+
+    /// Home nodes, assigned round-robin in request order. Empty (the
+    /// default) places every program on the scenario's first node.
+    pub fn across(mut self, nodes: &[&str]) -> Self {
+        self.across = nodes.iter().map(|n| (*n).to_owned()).collect();
+        self
+    }
+
+    /// Arrival schedule and PRNG seed (see [`ArrivalSchedule`]).
+    pub fn arrivals(mut self, schedule: ArrivalSchedule, seed: u64) -> Self {
+        self.schedule = schedule;
+        self.seed = seed;
+        self
+    }
+
+    /// Object-fetch policy for every fleet member.
+    pub fn fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Arm a migration policy on every fleet member.
+    pub fn migrate(mut self, when: When, plan: Plan) -> Self {
+        self.migrations.push((when, plan));
+        self
+    }
 }
 
 /// What went wrong while assembling or running a scenario.
@@ -214,6 +294,10 @@ pub struct ProgramRun {
     pub name: String,
     /// The runtime's full measurement record.
     pub report: RunReport,
+    /// The program's failure, if any. Always `None` for programs declared
+    /// with [`Scenario::program`] (their failures abort the run); fleet
+    /// members record failures here instead.
+    pub error: Option<String>,
 }
 
 /// The typed result of [`Scenario::run`].
@@ -221,6 +305,11 @@ pub struct ProgramRun {
 pub struct ScenarioReport {
     /// Final virtual time of the simulation (all events drained).
     pub finished_at_ns: u64,
+    /// Aggregate fleet metrics over *all* declared programs: completion
+    /// latency percentiles (nearest-rank), throughput, per-node
+    /// utilization. Most useful for [`Scenario::fleet`] runs but always
+    /// populated.
+    pub cluster: ClusterReport,
     programs: Vec<ProgramRun>,
 }
 
@@ -365,7 +454,35 @@ impl Scenario {
             start_at: 0,
             fetch_policy: FetchPolicy::default(),
             migrations: Vec::new(),
+            from_fleet: false,
         });
+        self
+    }
+
+    /// Declare a [`Fleet`]: `fleet.programs` copies of one program,
+    /// placed round-robin across `fleet.across`, started at the fleet's
+    /// deterministic arrival times, each armed with the fleet's migration
+    /// policies. Interleaves freely with `program(..)` declarations;
+    /// fleet members occupy consecutive report slots in arrival order.
+    pub fn fleet(mut self, fleet: Fleet) -> Self {
+        let times = fleet.schedule.arrival_times(fleet.programs, fleet.seed);
+        for (i, at) in times.into_iter().enumerate() {
+            let on = if fleet.across.is_empty() {
+                None
+            } else {
+                Some(fleet.across[i % fleet.across.len()].clone())
+            };
+            self.programs.push(ProgramDecl {
+                class: fleet.class.clone(),
+                method: fleet.method.clone(),
+                args: fleet.args.clone(),
+                on,
+                start_at: at,
+                fetch_policy: fleet.fetch_policy,
+                migrations: fleet.migrations.clone(),
+                from_fleet: true,
+            });
+        }
         self
     }
 
@@ -396,6 +513,25 @@ impl Scenario {
     /// Migrate the last declared program per `plan` when `when` holds.
     pub fn migrate(self, when: When, plan: Plan) -> Self {
         self.with_last_program("migrate(..)", move |p| p.migrations.push((when, plan)))
+    }
+
+    /// Inject `count` client requests into the named node's accept queue
+    /// at the schedule's deterministic arrival times; payloads are
+    /// `{prefix}{i}` in arrival order (FIFO at the accept queue).
+    pub fn client_requests(
+        mut self,
+        node: impl Into<String>,
+        count: usize,
+        schedule: ArrivalSchedule,
+        seed: u64,
+        prefix: impl Into<String>,
+    ) -> Self {
+        let (node, prefix) = (node.into(), prefix.into());
+        for (i, at) in schedule.arrival_times(count, seed).into_iter().enumerate() {
+            self.requests
+                .push((at, node.clone(), format!("{prefix}{i}")));
+        }
+        self
     }
 
     /// Inject a client request into the named node's accept queue at
@@ -491,7 +627,8 @@ impl Scenario {
             nodes[resolve(node)?].fs.mount(prefix.clone(), server);
         }
 
-        // Programs: placement, fetch policy, armed policy triggers.
+        // Programs (incl. expanded fleet members): placement, fetch
+        // policy, armed policy triggers.
         let mut cluster = Cluster::new(nodes);
         if let Some(ns) = self.slice_ns {
             cluster.slice_ns = ns;
@@ -571,18 +708,23 @@ impl Scenario {
         for (pid, name) in names.into_iter().enumerate() {
             let p = sim.program(pid as u32);
             if let Some(error) = &p.error {
-                return Err(ScenarioError::Program {
-                    program: name,
-                    error: error.clone(),
-                });
+                // Fleet members report failure; single programs abort.
+                if !self.programs[pid].from_fleet {
+                    return Err(ScenarioError::Program {
+                        program: name,
+                        error: error.clone(),
+                    });
+                }
             }
             programs.push(ProgramRun {
                 name,
                 report: p.report.clone(),
+                error: p.error.clone(),
             });
         }
         Ok(ScenarioReport {
             finished_at_ns,
+            cluster: sim.cluster_report(),
             programs,
         })
     }
@@ -693,6 +835,90 @@ mod tests {
             .program("T", "main", vec![])
             .run();
         assert_eq!(err, Err(ScenarioError::UnknownNode("ghost".into())));
+    }
+
+    fn trivial_class(name: &str) -> ClassDef {
+        let c = sod_asm::builder::ClassBuilder::new(name)
+            .method("main", &[], |m| {
+                m.line();
+                m.pushi(1).retv();
+            })
+            .build()
+            .unwrap();
+        sod_preprocess::preprocess_sod(&c).unwrap()
+    }
+
+    #[test]
+    fn fleet_expands_round_robin_with_cluster_report() {
+        let class = trivial_class("T");
+        let report = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .deploys(&class)
+            .node("b", NodeConfig::cluster("b"))
+            .deploys(&class)
+            .fleet(
+                Fleet::new("T", "main", vec![])
+                    .programs(6)
+                    .across(&["a", "b"])
+                    .arrivals(ArrivalSchedule::uniform(1_000), 7),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.programs().len(), 6);
+        assert_eq!(report.cluster.launched, 6);
+        assert_eq!(report.cluster.completed, 6);
+        assert_eq!(report.cluster.failed, 0);
+        assert!(report.cluster.p50_latency_ns > 0);
+        assert!(report.cluster.makespan_ns > 0);
+        // Round-robin placement: both nodes executed slices.
+        assert_eq!(report.cluster.per_node.len(), 2);
+        assert!(report.cluster.per_node.iter().all(|n| n.slices > 0));
+        assert!(report.programs().iter().all(|p| p.error.is_none()));
+    }
+
+    #[test]
+    fn fleet_member_failure_is_recorded_not_fatal() {
+        let class = sod_asm::builder::ClassBuilder::new("Alloc")
+            .method("main", &[], |m| {
+                m.line();
+                m.pushi(1_000).newarr().arrlen().retv();
+            })
+            .build()
+            .unwrap();
+        let class = sod_preprocess::preprocess_sod(&class).unwrap();
+        let tiny = NodeConfig {
+            mem_limit: Some(64),
+            ..NodeConfig::cluster("tiny")
+        };
+        let report = Scenario::new()
+            .node("ok", NodeConfig::cluster("ok"))
+            .deploys(&class)
+            .node("tiny", tiny.clone())
+            .deploys(&class)
+            .fleet(
+                Fleet::new("Alloc", "main", vec![])
+                    .programs(4)
+                    .across(&["ok", "tiny"]),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.cluster.launched, 4);
+        assert_eq!(report.cluster.completed, 2);
+        assert_eq!(report.cluster.failed, 2);
+        let errs: Vec<_> = report
+            .programs()
+            .iter()
+            .filter_map(|p| p.error.as_deref())
+            .collect();
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|e| e.contains("OutOfMemory")));
+        // The same failure outside a fleet still aborts the run.
+        let err = Scenario::new()
+            .node("tiny", tiny)
+            .deploys(&class)
+            .program("Alloc", "main", vec![])
+            .run();
+        assert!(matches!(err, Err(ScenarioError::Program { .. })));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Fleet serving: a burst of client requests hits two edge servers whose
+//! request handlers offload their compute frame to a cloud node once they
+//! exhaust a CPU slice budget (`When::OnCpuSliceBudget`) — the multi-tenant
+//! version of the paper's elastic-execution story.
+//!
+//! Forty handler programs (a [`sod::Fleet`]) start across the edges while
+//! forty client requests arrive in bursts; each handler accepts one
+//! request, runs the compute kernel (offloaded mid-run), and echoes the
+//! request back. The run ends with a [`sod::ClusterReport`]: nearest-rank
+//! latency percentiles, throughput, and per-node utilization.
+//!
+//! Run with: `cargo run --release --example fleet_serving`
+
+use std::error::Error;
+
+use sod::asm::builder::ClassBuilder;
+use sod::net::{ns_to_ms_string, MS};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::NodeConfig;
+use sod::scenario::{Fleet, Plan, Scenario, When};
+use sod::vm::instr::Cmp;
+use sod::vm::value::Value;
+use sod::ArrivalSchedule;
+
+const HANDLERS: usize = 40;
+const WORK: i64 = 300_000;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // One request handler: accept a client request, run the compute
+    // kernel (this is the frame that offloads), echo the request back.
+    let class = ClassBuilder::new("Serve")
+        .method("work", &["n"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc").load("i").add().store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").retv();
+        })
+        .method("main", &["n"], |m| {
+            m.line();
+            m.native("sock_accept", 0).store("req");
+            m.line();
+            m.load("n").invoke("Serve", "work", 1).store("r");
+            m.line();
+            m.load("req").native("sock_send", 1).pop();
+            m.line();
+            m.load("r").retv();
+        })
+        .build()?;
+    let class = preprocess_sod(&class)?;
+
+    let report = Scenario::new()
+        .node("edge0", NodeConfig::cluster("edge0"))
+        .deploys(&class)
+        .node("edge1", NodeConfig::cluster("edge1"))
+        .deploys(&class)
+        .node("cloud", NodeConfig::cloud("cloud"))
+        // Handlers spin up across the edges ahead of the traffic...
+        .fleet(
+            Fleet::new("Serve", "main", vec![Value::Int(WORK)])
+                .programs(HANDLERS)
+                .across(&["edge0", "edge1"])
+                .arrivals(ArrivalSchedule::uniform(MS / 2), 7)
+                .migrate(When::OnCpuSliceBudget(4), Plan::top_to("cloud", 1)),
+        )
+        // ...and the client burst floods the accept queues: 20 requests
+        // per instant, so queues grow long before handlers drain them.
+        .client_requests(
+            "edge0",
+            HANDLERS / 2,
+            ArrivalSchedule::bursty(10, 5 * MS).with_jitter(MS),
+            11,
+            "GET /render?job=",
+        )
+        .client_requests(
+            "edge1",
+            HANDLERS / 2,
+            ArrivalSchedule::bursty(10, 5 * MS).with_jitter(MS),
+            13,
+            "GET /render?job=",
+        )
+        .run()?;
+
+    let expected: i64 = (0..WORK).sum();
+    let ok = report
+        .programs()
+        .iter()
+        .filter(|p| p.report.result == Some(expected))
+        .count();
+    let offloaded = report
+        .programs()
+        .iter()
+        .filter(|p| !p.report.migrations.is_empty())
+        .count();
+    let cl = &report.cluster;
+    println!("handlers      : {ok}/{HANDLERS} served the full kernel");
+    println!("offloaded     : {offloaded} (OnCpuSliceBudget -> cloud)");
+    println!(
+        "latency       : p50 {} ms | p95 {} ms | p99 {} ms",
+        ns_to_ms_string(cl.p50_latency_ns),
+        ns_to_ms_string(cl.p95_latency_ns),
+        ns_to_ms_string(cl.p99_latency_ns),
+    );
+    println!(
+        "throughput    : {:.1} req/s over {} ms makespan",
+        cl.throughput_millirps as f64 / 1000.0,
+        ns_to_ms_string(cl.makespan_ns),
+    );
+    for n in &cl.per_node {
+        println!(
+            "node {:<6}   : {:>9} instr, {:>5} slices, {} ms busy",
+            n.name,
+            n.instructions,
+            n.slices,
+            ns_to_ms_string(n.busy_ns),
+        );
+    }
+    assert_eq!(ok, HANDLERS, "every handler must serve its request");
+    assert!(offloaded > 0, "the slice budget must trip under load");
+    Ok(())
+}
