@@ -10,6 +10,7 @@ fn main() {
         ("", sod_bench::fig1()),
         ("", sod_bench::roaming()),
         ("", sod_bench::scale_table()),
+        ("", sod_bench::codecache_table()),
     ] {
         println!("{name}{t}");
     }

@@ -1,0 +1,20 @@
+//! Regenerate the code-shipping ablation (`TABLE CODECACHE`) and its
+//! `BENCH_codecache.json`-compatible summary.
+//!
+//! With no arguments the table and the JSON line both print to stdout;
+//! pass a path (e.g. `BENCH_codecache.json`) to write the JSON there
+//! instead.
+
+fn main() {
+    // Simulate the sweep once; render the table and the JSON from it.
+    let rows = sod_bench::codecache::sweep();
+    print!("{}", sod_bench::codecache::render_table(&rows));
+    let json = sod_bench::codecache::render_json(&rows);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON summary");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -5,8 +5,10 @@
 //! `bin/all` regenerates the full evaluation and is what `EXPERIMENTS.md`
 //! records.
 
+pub mod codecache;
 pub mod scale;
 pub mod tables;
 
+pub use codecache::{codecache_json, codecache_table, run_codecache_fleet};
 pub use scale::{run_scale_fleet, scale_json, scale_table, scale_table_for};
 pub use tables::*;

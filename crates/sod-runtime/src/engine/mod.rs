@@ -1,0 +1,506 @@
+//! The SODEE engine: nodes, migration managers, and object managers wired
+//! into the discrete-event simulator.
+//!
+//! One [`Cluster`] implements [`sod_net::World`]; the driver ([`SodSim`])
+//! injects `StartProgram` / `MigrateNow` / `ClientRequest` events and runs
+//! the simulation to idle. Execution proceeds in bounded virtual-time
+//! *slices* per thread, so message arrivals (migration requests, object
+//! replies) interleave with guest execution deterministically.
+//!
+//! ## Protocol modules
+//!
+//! The engine is split along the paper's protocol boundaries; this module
+//! holds the shared state ([`Cluster`], [`Program`], [`SodSim`]) and the
+//! message dispatch, while each protocol lives in its own submodule:
+//!
+//! * `exec.rs` — the slice loop: running threads, host intrinsics,
+//!   policy-trigger evaluation, program completion/failure;
+//! * `migrate.rs` — home-side capture, segment staging, cache-aware
+//!   code bundling ([`CodeShipping`]), class serving, and roaming hops;
+//! * `restore.rs` — segment arrival, on-demand class waits, and both
+//!   restore protocols (breakpoint/handler and exact direct);
+//! * `objects.rs` — the object manager: on-demand fetches, dirty
+//!   write-back flushes, temp-id assignment;
+//! * `completion.rs` — segment returns, workflow chaining, and
+//!   `ForceEarlyReturn` resumption at home;
+//! * `session.rs` — the typed `HomeSide`/`WorkerPhase` state
+//!   machines the other modules share.
+//!
+//! ## Migration flow (paper §III)
+//!
+//! 1. `MigrateNow` sets a pending plan; the thread stops at the next
+//!    migration-safe point.
+//! 2. The migration manager captures the top frames via the tooling
+//!    interface (JVMTI costs, or the portable serialization path when the
+//!    destination lacks JVMTI), splitting them into the plan's segments —
+//!    one freeze, concurrent shipping (Fig. 1c).
+//! 3. Each destination loads missing classes (the bundled classes
+//!    first, the rest on demand), then re-establishes the frames: the
+//!    breakpoint + `InvalidStateException` + restoration-handler
+//!    protocol on JVMTI nodes, or an exact direct restore for
+//!    restore-ahead workflow segments and no-JVMTI devices.
+//! 4. Object faults travel to the *home* node's object manager, which
+//!    serializes the master copy back (heap-on-demand).
+//! 5. When a segment's last frame pops, dirty/new objects flush home and
+//!    the return value routes to the next segment (workflow) or back home,
+//!    where `ForceEarlyReturn` pops the stale frames and execution resumes.
+//!
+//! ## Code shipping & the peer class cache
+//!
+//! Every node remembers which classes each peer provably holds (learned
+//! from the `State` bundles and `ClassReply` messages it sent — see
+//! [`crate::node::Node::peer_classes`]). Bundling is destination-aware:
+//! under the default [`CodeShipping::BundleTop`] policy a class the peer
+//! is known to hold is *not* re-shipped, which removes the redundant
+//! class bytes that every warm-worker migration used to pay. Classes the
+//! tracker cannot prove present still arrive via the on-demand
+//! `ClassRequest` path, so skipping is always safe.
+
+mod completion;
+mod exec;
+mod migrate;
+mod objects;
+mod restore;
+mod session;
+
+use std::collections::HashMap;
+
+use sod_net::{Sim, SimCtx, Topology, World};
+use sod_vm::value::{ObjId, Value};
+
+use crate::metrics::{ClusterReport, NodeUtilization, RunReport};
+use crate::msg::{HostReply, MigrationPlan, Msg, ProgramId, SessionId};
+use crate::node::Node;
+use crate::trigger::{ArmedTrigger, Trigger};
+
+use session::{HomeSide, Owner, StagedSegment, WorkerSession};
+
+/// Worker-created objects are flushed home under temporary ids at/above
+/// this base until the home node assigns master ids.
+pub const TEMP_ID_BASE: ObjId = 1 << 30;
+
+/// Default execution slice: how much virtual time a thread runs per event.
+pub const DEFAULT_SLICE_NS: u64 = 100_000; // 100 µs
+
+/// Payload size of small control messages (requests, acks).
+pub(crate) const CONTROL_MSG_BYTES: u64 = 128;
+
+/// On-demand fetch policy (ablation axis; the paper's default is shallow
+/// per-object fetching).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FetchPolicy {
+    /// Fetch exactly the missed object.
+    #[default]
+    Shallow,
+    /// Fetch the transitive closure of the missed object (eager subgraph).
+    Deep,
+}
+
+/// How class files travel with a migrating segment (ablation axis for the
+/// code-shipping experiments; plumbed through `Scenario::code_shipping`).
+///
+/// All policies are *correct* — anything not bundled ships later through
+/// the on-demand `ClassRequest` path — they only trade eager bytes against
+/// extra round trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CodeShipping {
+    /// The paper's default: bundle the top frame's class with the state,
+    /// unless the destination is known to hold it already (peer-cache
+    /// tracking skips provably redundant copies).
+    #[default]
+    BundleTop,
+    /// Ship nothing eagerly; every class goes on demand.
+    Never,
+    /// Bundle every class statically reachable from the shipped frames
+    /// (transitive `referenced_classes` closure over the sender's repo),
+    /// minus those the destination is known to hold.
+    BundleReachable,
+    /// The pre-cache baseline: bundle the top frame's class with *every*
+    /// migration, even when the destination provably has it. Kept for the
+    /// codecache ablation; never skips.
+    BundleAlways,
+}
+
+/// A registered program (one root thread).
+pub struct Program {
+    pub home: usize,
+    pub home_tid: usize,
+    pub class: String,
+    pub method: String,
+    pub args: Vec<Value>,
+    pub report: RunReport,
+    pub done: bool,
+    pub error: Option<String>,
+    pub fetch_policy: FetchPolicy,
+    /// Armed migration policies, evaluated at migration-safe points (see
+    /// [`crate::trigger`]). `Trigger::OnOom` generalizes the old
+    /// `oom_offload_to` field: exception-driven offload is
+    /// `ArmedTrigger::new(Trigger::OnOom { to })`.
+    pub triggers: Vec<ArmedTrigger>,
+    /// Execution slices consumed by the root thread on its home node
+    /// (the `OnCpuSliceBudget` measure).
+    pub slices_run: u64,
+    /// Home-side migration state machine (idle / plan pending / frozen).
+    side: HomeSide,
+    staged: Vec<StagedSegment>,
+}
+
+/// The cluster: all nodes plus global program/session bookkeeping.
+pub struct Cluster {
+    pub nodes: Vec<Node>,
+    pub programs: Vec<Program>,
+    sessions: HashMap<SessionId, WorkerSession>,
+    thread_owner: HashMap<(usize, usize), Owner>,
+    next_session: SessionId,
+    pub slice_ns: u64,
+    /// Cluster-wide code-shipping policy (see [`CodeShipping`]).
+    pub code_shipping: CodeShipping,
+    /// Memoized `ClassDef::referenced_classes` results, keyed by class
+    /// name (class files are immutable once deployed, and names are
+    /// cluster-unique): `BundleReachable` walks the reference closure on
+    /// every migration, and rescanning every method body each time would
+    /// put an O(code size) pass on the migration hot path.
+    class_refs: HashMap<String, Vec<String>>,
+}
+
+impl Cluster {
+    pub fn new(nodes: Vec<Node>) -> Self {
+        Cluster {
+            nodes,
+            programs: Vec::new(),
+            sessions: HashMap::new(),
+            thread_owner: HashMap::new(),
+            next_session: 1,
+            slice_ns: DEFAULT_SLICE_NS,
+            code_shipping: CodeShipping::default(),
+            class_refs: HashMap::new(),
+        }
+    }
+
+    /// Register a program rooted at `home`.
+    pub fn add_program(
+        &mut self,
+        home: usize,
+        class: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Value>,
+    ) -> ProgramId {
+        self.programs.push(Program {
+            home,
+            home_tid: usize::MAX,
+            class: class.into(),
+            method: method.into(),
+            args,
+            report: RunReport::default(),
+            done: false,
+            error: None,
+            fetch_policy: FetchPolicy::Shallow,
+            triggers: Vec::new(),
+            slices_run: 0,
+            side: HomeSide::Idle,
+            staged: Vec::new(),
+        });
+        (self.programs.len() - 1) as ProgramId
+    }
+
+    /// Arm a migration policy on `program` (evaluated at migration-safe
+    /// points; see [`crate::trigger`]).
+    pub fn arm_trigger(&mut self, program: ProgramId, trigger: ArmedTrigger) {
+        self.programs[program as usize].triggers.push(trigger);
+    }
+
+    /// Evaluate the program's armed policy triggers against its current
+    /// counters; the first satisfied trigger installs its plan (one
+    /// migration at a time — the rest re-evaluate after control returns).
+    fn check_policy_triggers(&mut self, program: ProgramId, now: u64) {
+        let p = &mut self.programs[program as usize];
+        if p.done || !matches!(p.side, HomeSide::Idle) {
+            return;
+        }
+        let faults = p.report.object_faults;
+        let slices = p.slices_run;
+        for t in p.triggers.iter_mut().filter(|t| !t.fired) {
+            let satisfied = match t.trigger {
+                Trigger::At(ns) => now >= ns,
+                // OnOom fires where the exception surfaces, not here.
+                Trigger::OnOom { .. } => false,
+                Trigger::OnObjectFaults { threshold, .. } => faults >= threshold,
+                Trigger::OnCpuSliceBudget { slices: budget, .. } => slices >= budget,
+            };
+            if !satisfied {
+                continue;
+            }
+            let Some(plan) = t.effective_plan() else {
+                // At armed without a plan: nowhere to go. Retire it so the
+                // dead trigger is not re-walked on every future slice.
+                t.fired = true;
+                continue;
+            };
+            t.fired = true;
+            p.side = HomeSide::PlanPending(plan);
+            return;
+        }
+    }
+
+    fn alloc_session(&mut self) -> SessionId {
+        let s = self.next_session;
+        self.next_session += 1;
+        s
+    }
+
+    fn worker_of(&self, node: usize, tid: usize) -> SessionId {
+        match self.thread_owner.get(&(node, tid)) {
+            Some(Owner::Worker(s)) => *s,
+            _ => panic!("thread ({node},{tid}) is not a worker session"),
+        }
+    }
+
+    /// Aggregate the cluster's current state into a [`ClusterReport`]:
+    /// per-request completion latencies (nearest-rank percentiles),
+    /// throughput, per-node utilization, and per-node network bytes
+    /// broken out as state/class/object. Callable at any point; normally
+    /// used after the simulation runs to idle.
+    pub fn cluster_report(&self) -> ClusterReport {
+        let mut latencies = Vec::new();
+        let mut failed = 0u64;
+        let mut makespan = 0u64;
+        for p in &self.programs {
+            if !p.done {
+                continue;
+            }
+            makespan = makespan.max(p.report.finished_at_ns);
+            if p.error.is_some() {
+                failed += 1;
+            } else {
+                latencies.push(p.report.latency_ns());
+            }
+        }
+        let per_node = self
+            .nodes
+            .iter()
+            .map(|n| NodeUtilization {
+                name: n.cfg.name.clone(),
+                instructions: n.vm.instr_count,
+                slices: n.slices,
+                busy_ns: n.busy_ns,
+                sent: n.net_sent,
+            })
+            .collect();
+        ClusterReport::aggregate(
+            self.programs.len() as u64,
+            latencies,
+            failed,
+            makespan,
+            per_node,
+        )
+    }
+}
+
+impl World for Cluster {
+    type Msg = Msg;
+
+    fn on_message(&mut self, dst: usize, msg: Msg, ctx: &mut SimCtx<'_, Msg>) {
+        match msg {
+            Msg::StartProgram { program } => {
+                let p = &self.programs[program as usize];
+                debug_assert_eq!(p.home, dst);
+                let (class, method, args) = (p.class.clone(), p.method.clone(), p.args.clone());
+                let tid = self.nodes[dst]
+                    .vm
+                    .spawn(&class, &method, &args)
+                    .expect("spawn program");
+                self.programs[program as usize].home_tid = tid;
+                self.programs[program as usize].report.started_at_ns = ctx.now();
+                self.thread_owner.insert((dst, tid), Owner::Root(program));
+                ctx.schedule(0, dst, Msg::RunSlice { tid });
+            }
+            Msg::MigrateNow { program, plan } => {
+                let p = &mut self.programs[program as usize];
+                if p.done || p.side.is_frozen() {
+                    return;
+                }
+                // The live slice chain observes the flag at its next stop;
+                // scheduling another slice here would double-drive the
+                // thread.
+                p.side = HomeSide::PlanPending(plan);
+            }
+            Msg::RunSlice { tid } => self.run_slice(dst, tid, ctx),
+            Msg::HostDone { tid, reply } => {
+                let v = materialize_reply(&mut self.nodes[dst].vm, reply);
+                self.nodes[dst].vm.resume_host(tid, v).expect("resume host");
+                ctx.schedule(0, dst, Msg::RunSlice { tid });
+            }
+            Msg::CaptureDone { program } => self.capture_done(program, ctx),
+            Msg::State {
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+                sent_at,
+            } => self.state_arrived(
+                dst,
+                info,
+                state,
+                bundled,
+                state_bytes,
+                class_bytes,
+                capture_ns,
+                sent_at,
+                ctx,
+            ),
+            Msg::BeginRestore { session } => self.begin_restore(session, ctx),
+            Msg::ClassRequest {
+                session,
+                requester,
+                name,
+            } => self.class_request(dst, session, requester, name, ctx),
+            Msg::ClassReply {
+                session,
+                class,
+                bytes,
+            } => self.class_reply(dst, session, class, bytes, ctx),
+            Msg::ObjectRequest {
+                session,
+                requester,
+                home_id,
+            } => self.object_request(dst, session, requester, home_id, ctx),
+            Msg::ObjectReply {
+                session,
+                object,
+                prefetched,
+            } => self.object_reply(dst, session, object, prefetched, ctx),
+            Msg::Flush {
+                program: _,
+                objects,
+                ack_to,
+            } => self.apply_flush(dst, &objects, ack_to, ctx),
+            Msg::FlushAck { session, assigned } => self.flush_ack(dst, session, assigned, ctx),
+            Msg::SegmentReturn {
+                program,
+                session: _,
+                target,
+                retval,
+                pop_frames,
+            } => self.segment_return(dst, program, target, retval, pop_frames, ctx),
+            Msg::FsRead {
+                requester,
+                tid,
+                path,
+                op,
+            } => self.fs_read(dst, requester, tid, path, op, ctx),
+            Msg::FsData {
+                tid,
+                bytes,
+                op,
+                result,
+            } => self.fs_data(dst, tid, bytes, op, result, ctx),
+            Msg::ClientRequest { payload } => {
+                if let Some(tid) = self.nodes[dst].sock_waiters.pop_front() {
+                    ctx.schedule(
+                        0,
+                        dst,
+                        Msg::HostDone {
+                            tid,
+                            reply: HostReply::Str(payload),
+                        },
+                    );
+                } else {
+                    self.nodes[dst].sock_queue.push_back(payload);
+                }
+            }
+        }
+    }
+}
+
+fn materialize_reply(vm: &mut sod_vm::interp::Vm, reply: HostReply) -> Value {
+    match reply {
+        HostReply::Int(i) => Value::Int(i),
+        HostReply::Str(s) => Value::Ref(vm.heap.alloc_str(s)),
+        HostReply::List(items) => {
+            let refs: Vec<Value> = items
+                .into_iter()
+                .map(|s| Value::Ref(vm.heap.alloc_str(s)))
+                .collect();
+            Value::Ref(vm.heap.alloc_arr_from(refs))
+        }
+    }
+}
+
+/// Driver: a [`Sim`] over a [`Cluster`] with experiment-friendly helpers.
+pub struct SodSim {
+    pub sim: Sim<Cluster>,
+}
+
+impl SodSim {
+    pub fn new(cluster: Cluster, topo: Topology) -> Self {
+        SodSim {
+            sim: Sim::new(cluster, topo),
+        }
+    }
+
+    /// Start a registered program at virtual time `at`.
+    pub fn start_program(&mut self, at: u64, program: ProgramId) {
+        let home = self.sim.world.programs[program as usize].home;
+        self.sim.inject(at, home, Msg::StartProgram { program });
+    }
+
+    /// Trigger a migration of `program` per `plan` at virtual time `at`.
+    pub fn migrate_at(&mut self, at: u64, program: ProgramId, plan: MigrationPlan) {
+        let home = self.sim.world.programs[program as usize].home;
+        self.sim.inject(at, home, Msg::MigrateNow { program, plan });
+    }
+
+    /// Arm a policy trigger on a registered program (see [`crate::trigger`]).
+    pub fn arm_trigger(&mut self, program: ProgramId, trigger: ArmedTrigger) {
+        self.sim.world.arm_trigger(program, trigger);
+    }
+
+    /// Inject a client request into a photo-server node.
+    pub fn client_request_at(&mut self, at: u64, node: usize, payload: impl Into<String>) {
+        self.sim.inject(
+            at,
+            node,
+            Msg::ClientRequest {
+                payload: payload.into(),
+            },
+        );
+    }
+
+    /// Run the simulation to idle; returns final virtual time.
+    pub fn run(&mut self) -> u64 {
+        self.sim.run_to_idle(500_000_000)
+    }
+
+    /// The report of a completed program.
+    pub fn report(&self, program: ProgramId) -> &RunReport {
+        &self.sim.world.programs[program as usize].report
+    }
+
+    /// Aggregate fleet metrics over every registered program (see
+    /// [`Cluster::cluster_report`]).
+    pub fn cluster_report(&self) -> ClusterReport {
+        self.sim.world.cluster_report()
+    }
+
+    pub fn program(&self, program: ProgramId) -> &Program {
+        &self.sim.world.programs[program as usize]
+    }
+}
+
+/// Roll a faulted thread back to the start of the faulting statement
+/// (operand stack cleared — sound because rearranged statements are
+/// single-effect), leaving it runnable for capture at that MSP.
+pub fn rollback_to_statement_start(vm: &mut sod_vm::interp::Vm, tid: usize) {
+    let (ci, mi, pc) = {
+        let f = vm.thread(tid).unwrap().top().unwrap();
+        (f.class_idx, f.method_idx, f.pc)
+    };
+    let start = vm.line_start_pc(ci, mi, pc);
+    let t = vm.thread_mut(tid).unwrap();
+    let f = t.frames.last_mut().unwrap();
+    f.pc = start;
+    f.ostack.clear();
+    t.state = sod_vm::interp::ThreadState::Runnable;
+}

@@ -1,0 +1,280 @@
+//! The object manager: on-demand object fetches (heap-on-demand), dirty
+//! write-back flushes with temp-id assignment, and flush acks.
+
+use std::collections::{HashMap, HashSet};
+
+use sod_net::SimCtx;
+use sod_vm::capture::CapturedValue;
+use sod_vm::value::{ObjId, Value};
+use sod_vm::wire::{extract_closure, extract_dirty, extract_object, install_object, WireObject};
+
+use crate::costs;
+use crate::msg::{Msg, SessionId};
+
+use super::session::WorkerPhase;
+use super::{Cluster, FetchPolicy, CONTROL_MSG_BYTES, TEMP_ID_BASE};
+
+impl Cluster {
+    pub(super) fn object_request(
+        &mut self,
+        home: usize,
+        sid: SessionId,
+        requester: usize,
+        home_id: ObjId,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let policy = self
+            .sessions
+            .get(&sid)
+            .map(|w| self.programs[w.program as usize].fetch_policy)
+            .unwrap_or_default();
+        let (root, prefetched) = match policy {
+            FetchPolicy::Shallow => (
+                extract_object(&self.nodes[home].vm.heap, home_id).expect("home object"),
+                Vec::new(),
+            ),
+            FetchPolicy::Deep => {
+                let mut closure =
+                    extract_closure(&self.nodes[home].vm.heap, home_id).expect("home closure");
+                let root = closure.remove(0);
+                (root, closure)
+            }
+        };
+        let bytes: u64 = root.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let cost = costs::OBJ_LOOKUP_NS + costs::serialize_ns(bytes);
+        self.nodes[home].net_sent.object += bytes;
+        ctx.send_after(
+            self.nodes[home].cfg.scale(cost),
+            home,
+            requester,
+            bytes,
+            Msg::ObjectReply {
+                session: sid,
+                object: root,
+                prefetched,
+            },
+        );
+    }
+
+    pub(super) fn object_reply(
+        &mut self,
+        node: usize,
+        sid: SessionId,
+        object: WireObject,
+        prefetched: Vec<WireObject>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let tid = self.sessions[&sid].tid;
+        let program = self.sessions[&sid].program;
+        let bytes: u64 =
+            object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let local = install_object(&mut self.nodes[node].vm.heap, &object).expect("install");
+        for p in &prefetched {
+            install_object(&mut self.nodes[node].vm.heap, p).expect("install prefetch");
+        }
+        self.nodes[node]
+            .vm
+            .resume_fetched(tid, local)
+            .expect("resume fetched");
+        let p = &mut self.programs[program as usize];
+        p.report.object_faults += 1;
+        p.report.object_bytes += bytes;
+        let cost = self.nodes[node].cfg.scale(costs::deserialize_ns(bytes));
+        ctx.schedule(cost, node, Msg::RunSlice { tid });
+    }
+
+    pub(super) fn apply_flush(
+        &mut self,
+        home: usize,
+        objects: &[WireObject],
+        ack_to: Option<(usize, SessionId)>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        let vm = &mut self.nodes[home].vm;
+        // Pass 1: allocate masters for worker-created (temp-id) objects.
+        let mut assigned: Vec<(ObjId, ObjId)> = Vec::new();
+        let mut map: HashMap<ObjId, ObjId> = HashMap::new();
+        for obj in objects {
+            if obj.home_id >= TEMP_ID_BASE {
+                let new_id = match &obj.body {
+                    sod_vm::wire::WireObjBody::Obj { class, fields } => vm
+                        .heap
+                        .alloc_obj(class.clone(), vec![Value::Null; fields.len()]),
+                    sod_vm::wire::WireObjBody::Arr { elems } => vm.heap.alloc_arr(elems.len()),
+                    sod_vm::wire::WireObjBody::Str(s) => vm.heap.alloc_str(s.clone()),
+                };
+                map.insert(obj.home_id, new_id);
+                assigned.push((obj.home_id, new_id));
+            }
+        }
+        // Pass 2: write bodies with refs resolved.
+        let resolve = |cv: &CapturedValue, map: &HashMap<ObjId, ObjId>| -> Value {
+            match cv {
+                CapturedValue::Int(i) => Value::Int(*i),
+                CapturedValue::Num(n) => Value::Num(*n),
+                CapturedValue::Null => Value::Null,
+                CapturedValue::HomeRef(h) => Value::Ref(map.get(h).copied().unwrap_or(*h)),
+            }
+        };
+        let mut total_bytes = 0u64;
+        for obj in objects {
+            total_bytes += obj.wire_bytes();
+            let target = map.get(&obj.home_id).copied().unwrap_or(obj.home_id);
+            let entry = match vm.heap.get_mut(target) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            match (&mut entry.kind, &obj.body) {
+                (
+                    sod_vm::heap::ObjKind::Obj { fields, .. },
+                    sod_vm::wire::WireObjBody::Obj { fields: new, .. },
+                ) => {
+                    for (i, cv) in new.iter().enumerate() {
+                        if i < fields.len() {
+                            fields[i] = resolve(cv, &map);
+                        }
+                    }
+                }
+                (
+                    sod_vm::heap::ObjKind::Arr { elems },
+                    sod_vm::wire::WireObjBody::Arr { elems: new },
+                ) => {
+                    for (i, cv) in new.iter().enumerate() {
+                        if i < elems.len() {
+                            elems[i] = resolve(cv, &map);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            entry.dirty = false;
+        }
+        if let Some((node, sid)) = ack_to {
+            let cost = costs::deserialize_ns(total_bytes);
+            ctx.send_after(
+                self.nodes[home].cfg.scale(cost),
+                home,
+                node,
+                CONTROL_MSG_BYTES,
+                Msg::FlushAck {
+                    session: sid,
+                    assigned,
+                },
+            );
+        }
+    }
+
+    pub(super) fn flush_ack(
+        &mut self,
+        node: usize,
+        sid: SessionId,
+        assigned: Vec<(ObjId, ObjId)>,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        // Record master ids on the local copies.
+        for (temp, home_id) in &assigned {
+            let local = (temp - TEMP_ID_BASE) as ObjId;
+            if let Ok(o) = self.nodes[node].vm.heap.get_mut(local) {
+                o.home_id = Some(*home_id);
+            }
+        }
+        let phase = std::mem::replace(
+            &mut self.sessions.get_mut(&sid).unwrap().phase,
+            WorkerPhase::Done,
+        );
+        match phase {
+            WorkerPhase::AwaitRoamAck { dest } => {
+                let tid = self.sessions[&sid].tid;
+                self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::Running;
+                self.roam_capture_and_ship(node, tid, sid, dest, 0, ctx);
+            }
+            WorkerPhase::AwaitCompleteAck { retval } => {
+                let mapped = retval.map(|cv| match cv {
+                    CapturedValue::HomeRef(h) if h >= TEMP_ID_BASE => {
+                        let home_id = assigned
+                            .iter()
+                            .find(|(t, _)| *t == h)
+                            .map(|(_, n)| *n)
+                            .unwrap_or(h);
+                        CapturedValue::HomeRef(home_id)
+                    }
+                    other => other,
+                });
+                self.send_segment_return(sid, mapped, 0, ctx);
+            }
+            other => {
+                self.sessions.get_mut(&sid).unwrap().phase = other;
+            }
+        }
+    }
+}
+
+/// Export a return value, assigning temp ids to worker-created objects.
+pub(super) fn export_with_temps(vm: &sod_vm::interp::Vm, v: Value) -> CapturedValue {
+    match v {
+        Value::Ref(id) => match vm.heap.get(id).ok().and_then(|o| o.home_id) {
+            Some(h) => CapturedValue::HomeRef(h),
+            None => CapturedValue::HomeRef(TEMP_ID_BASE + id),
+        },
+        other => CapturedValue::from_value(other),
+    }
+}
+
+/// Collect the write-back set of a worker VM: dirty cached objects plus all
+/// worker-created objects reachable from them or from the return value.
+/// Returns wire objects (temp ids for worker-created ones) and their total
+/// serialized size. Clears dirty bits.
+pub(super) fn collect_flush(
+    vm: &mut sod_vm::interp::Vm,
+    retval: Option<Value>,
+) -> (Vec<WireObject>, u64) {
+    let mut roots: Vec<ObjId> = vm.heap.dirty_objects().map(|(id, _)| id).collect();
+    if let Some(Value::Ref(id)) = retval {
+        roots.push(id);
+    }
+    let mut seen: HashSet<ObjId> = HashSet::new();
+    let mut queue: Vec<ObjId> = Vec::new();
+    for r in roots {
+        if seen.insert(r) {
+            queue.push(r);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(id) = queue.pop() {
+        let obj = match vm.heap.get(id) {
+            Ok(o) => o,
+            Err(_) => continue,
+        };
+        let include = obj.dirty || obj.home_id.is_none();
+        if !include {
+            continue;
+        }
+        // Traverse refs: worker-created neighbours must flush too.
+        let neighbours: Vec<ObjId> = match &obj.kind {
+            sod_vm::heap::ObjKind::Obj { fields, .. } => fields
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Ref(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            sod_vm::heap::ObjKind::Arr { elems } => elems
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Ref(r) => Some(*r),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push(extract_dirty(&vm.heap, id, TEMP_ID_BASE).expect("extract dirty"));
+        for n in neighbours {
+            if seen.insert(n) {
+                queue.push(n);
+            }
+        }
+    }
+    vm.heap.clear_dirty();
+    let bytes = out.iter().map(|o| o.wire_bytes()).sum();
+    (out, bytes)
+}

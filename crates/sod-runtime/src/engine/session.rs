@@ -1,0 +1,147 @@
+//! Typed lifecycle state machines shared by the protocol modules.
+//!
+//! Both sides of a migration are modelled as explicit states instead of
+//! loose flag pairs:
+//!
+//! * [`HomeSide`] — the *home* thread of a program: running normally,
+//!   running in stop-at-MSP mode with a plan installed, or frozen while
+//!   its top segment executes remotely. The three states are mutually
+//!   exclusive (a frozen thread cannot install a plan: `MigrateNow` is
+//!   rejected while frozen, policy triggers skip non-idle programs, and
+//!   `sod_move` only executes on a running thread).
+//! * [`WorkerPhase`] — a migrated segment at its destination: waiting for
+//!   classes, re-establishing frames, waiting for a chained return value,
+//!   running, reconciling a flush, or done.
+
+use std::collections::HashSet;
+
+use sod_vm::capture::{CapturedState, CapturedValue};
+
+use crate::metrics::MigrationTimings;
+use crate::msg::{MigrationPlan, ProgramId, ReturnTarget, SegmentInfo, SessionId};
+
+/// Home-side lifecycle of a program's root thread.
+#[derive(Clone, Debug, Default)]
+pub(super) enum HomeSide {
+    /// Executing normally at home.
+    #[default]
+    Idle,
+    /// A migration plan is installed; the thread runs in stop-at-MSP mode
+    /// and capture happens at the next migration-safe point.
+    PlanPending(MigrationPlan),
+    /// The stack's top segment executes remotely; the home stack is frozen
+    /// and stale run slices must not wake it.
+    Frozen,
+}
+
+impl HomeSide {
+    /// Whether a plan is installed (the thread should stop at MSPs).
+    pub(super) fn plan_pending(&self) -> bool {
+        matches!(self, HomeSide::PlanPending(_))
+    }
+
+    /// Whether the home stack is frozen under a remote segment.
+    pub(super) fn is_frozen(&self) -> bool {
+        matches!(self, HomeSide::Frozen)
+    }
+
+    /// Take the installed plan, leaving the side [`HomeSide::Idle`].
+    pub(super) fn take_plan(&mut self) -> Option<MigrationPlan> {
+        match std::mem::take(self) {
+            HomeSide::PlanPending(plan) => Some(plan),
+            other => {
+                *self = other;
+                None
+            }
+        }
+    }
+}
+
+/// A captured segment staged at the home node, waiting for the freeze
+/// timer ([`crate::msg::Msg::CaptureDone`]) before shipping.
+pub(super) struct StagedSegment {
+    pub(super) dest: usize,
+    pub(super) info: SegmentInfo,
+    pub(super) state: CapturedState,
+    pub(super) bundled: Vec<std::sync::Arc<sod_vm::class::ClassDef>>,
+    pub(super) state_bytes: u64,
+    pub(super) class_bytes: u64,
+    pub(super) capture_ns: u64,
+}
+
+/// Worker-session lifecycle at the destination node.
+pub(super) enum WorkerPhase {
+    /// Classes referenced by the segment are still in flight.
+    AwaitClasses {
+        missing: HashSet<String>,
+    },
+    /// The breakpoint + `InvalidStateException` handler protocol is
+    /// re-establishing frames; `restored` counts finished frames.
+    Restoring {
+        restored: usize,
+    },
+    /// Restore-ahead workflow segment awaiting the return value of the
+    /// segment above.
+    Waiting,
+    Running,
+    /// Roaming: flush sent, awaiting id assignments before capture.
+    AwaitRoamAck {
+        dest: usize,
+    },
+    /// Completion flush with ack (reference-valued return), awaiting ids.
+    AwaitCompleteAck {
+        retval: Option<CapturedValue>,
+    },
+    Done,
+}
+
+/// One migrated segment executing (or being restored) at a node.
+pub(super) struct WorkerSession {
+    pub(super) program: ProgramId,
+    pub(super) node: usize,
+    pub(super) home: usize,
+    pub(super) tid: usize,
+    pub(super) return_to: ReturnTarget,
+    pub(super) nframes: usize,
+    /// See [`SegmentInfo::home_pop_frames`].
+    pub(super) home_pop_frames: usize,
+    pub(super) wait_for_return: bool,
+    pub(super) state: CapturedState,
+    pub(super) phase: WorkerPhase,
+    pub(super) timings: MigrationTimings,
+    pub(super) arrived_at: u64,
+    /// Post-arrival time spent waiting for on-demand classes (excluded
+    /// from restore time, like the paper's transfer accounting).
+    pub(super) class_wait_ns: u64,
+    pub(super) pending_roam: Option<usize>,
+}
+
+/// Who owns a VM thread on a node.
+pub(super) enum Owner {
+    Root(ProgramId),
+    Worker(SessionId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_side_transitions() {
+        let mut side = HomeSide::default();
+        assert!(!side.plan_pending() && !side.is_frozen());
+        assert!(side.take_plan().is_none());
+
+        side = HomeSide::PlanPending(MigrationPlan::top_to(1, 1));
+        assert!(side.plan_pending());
+        let plan = side.take_plan().expect("plan installed");
+        assert_eq!(plan, MigrationPlan::top_to(1, 1));
+        assert!(matches!(side, HomeSide::Idle));
+
+        side = HomeSide::Frozen;
+        assert!(side.is_frozen());
+        // Taking a plan from a frozen side is a no-op that preserves it.
+        assert!(side.take_plan().is_none());
+        assert!(side.is_frozen());
+    }
+}

@@ -102,9 +102,9 @@ pub mod msg;
 pub mod node;
 pub mod trigger;
 
-pub use engine::{Cluster, FetchPolicy, SodSim};
+pub use engine::{Cluster, CodeShipping, FetchPolicy, SodSim};
 pub use metrics::{
-    percentile_nearest_rank, ClusterReport, MigrationTimings, NodeUtilization, RunReport,
+    percentile_nearest_rank, ClusterReport, MigrationTimings, NetBytes, NodeUtilization, RunReport,
 };
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};

@@ -55,6 +55,12 @@ pub struct RunReport {
     pub object_bytes: u64,
     /// Classes shipped on demand (beyond those bundled with state).
     pub classes_shipped: u64,
+    /// Total class-file bytes shipped on this program's behalf: classes
+    /// bundled with migrating state *plus* on-demand `ClassReply`
+    /// payloads. This is the quantity the code cache shrinks on warm
+    /// workers; the per-migration bundled share is in
+    /// [`MigrationTimings::class_bytes`].
+    pub class_bytes: u64,
     /// Maximum stack height observed on the home node (Table I `h`).
     pub max_stack_height: usize,
 }
@@ -87,6 +93,28 @@ pub fn percentile_nearest_rank(sorted: &[u64], p: u32) -> u64 {
     sorted[rank as usize - 1]
 }
 
+/// Network payload bytes broken out by protocol category.
+///
+/// Tracked per node at every *send* site, so summing a category across
+/// nodes equals the bytes the matching [`RunReport`] fields account for —
+/// the conservation property the codecache suite pins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetBytes {
+    /// Captured execution state (`State` message payloads).
+    pub state: u64,
+    /// Class files (bundled with state + on-demand `ClassReply` payloads).
+    pub class: u64,
+    /// Objects (on-demand fetch replies + dirty write-back flushes).
+    pub object: u64,
+}
+
+impl NetBytes {
+    /// All categories combined.
+    pub fn total(&self) -> u64 {
+        self.state + self.class + self.object
+    }
+}
+
 /// Work done by one node over a whole fleet run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeUtilization {
@@ -98,6 +126,9 @@ pub struct NodeUtilization {
     pub slices: u64,
     /// Virtual ns the node spent executing guest code (CPU-scaled).
     pub busy_ns: u64,
+    /// Outbound network payload bytes, broken out as state/class/object
+    /// (makes code-cache savings visible in every report).
+    pub sent: NetBytes,
 }
 
 /// Aggregate outcome of a multi-program (fleet) run.
@@ -167,6 +198,18 @@ impl ClusterReport {
             per_node,
         }
     }
+
+    /// Cluster-wide network bytes: the per-node [`NodeUtilization::sent`]
+    /// categories summed across all nodes.
+    pub fn total_sent(&self) -> NetBytes {
+        self.per_node
+            .iter()
+            .fold(NetBytes::default(), |acc, n| NetBytes {
+                state: acc.state + n.sent.state,
+                class: acc.class + n.sent.class,
+                object: acc.object + n.sent.object,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -211,12 +254,28 @@ mod tests {
             vec![30, 10, 20, 40],
             1,
             2_000_000_000,
-            vec![NodeUtilization {
-                name: "n0".into(),
-                instructions: 99,
-                slices: 3,
-                busy_ns: 7,
-            }],
+            vec![
+                NodeUtilization {
+                    name: "n0".into(),
+                    instructions: 99,
+                    slices: 3,
+                    busy_ns: 7,
+                    sent: NetBytes {
+                        state: 100,
+                        class: 20,
+                        object: 3,
+                    },
+                },
+                NodeUtilization {
+                    name: "n1".into(),
+                    sent: NetBytes {
+                        state: 1,
+                        class: 2,
+                        object: 4,
+                    },
+                    ..Default::default()
+                },
+            ],
         );
         assert_eq!((r.launched, r.completed, r.failed), (5, 4, 1));
         assert_eq!(r.p50_latency_ns, 20);
@@ -225,7 +284,17 @@ mod tests {
         assert_eq!(r.max_latency_ns, 40);
         // 4 completions over 2 virtual seconds = 2 req/s = 2000 milli-rps.
         assert_eq!(r.throughput_millirps, 2000);
-        assert_eq!(r.per_node.len(), 1);
+        assert_eq!(r.per_node.len(), 2);
+        // Network byte categories sum per node and across the cluster.
+        assert_eq!(r.per_node[0].sent.total(), 123);
+        assert_eq!(
+            r.total_sent(),
+            NetBytes {
+                state: 101,
+                class: 22,
+                object: 7,
+            }
+        );
         // Empty fleets aggregate to zeros, not a division panic.
         let empty = ClusterReport::aggregate(0, vec![], 0, 0, vec![]);
         assert_eq!(empty.completed, 0);

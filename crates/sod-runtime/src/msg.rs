@@ -5,6 +5,8 @@
 //! requests/replies and dirty-object flushes; a handful of self-scheduled
 //! timers drive execution slices and cost accounting.
 
+use std::sync::Arc;
+
 use sod_vm::capture::{CapturedState, CapturedValue};
 use sod_vm::class::ClassDef;
 use sod_vm::value::ObjId;
@@ -89,8 +91,14 @@ pub struct SegmentInfo {
     /// The node serving object faults and receiving flushes (the home).
     pub home: usize,
     pub return_to: ReturnTarget,
-    /// Frames in this segment (for home-side truncation accounting).
+    /// Frames in this segment (restore establishes exactly this many).
     pub nframes: usize,
+    /// Stale frames the home node discards when this segment's chain
+    /// delivers its value home: the *whole* originally-captured stack
+    /// (all of the plan's segments), since every frame above this one
+    /// returned remotely into the chain. Identical to `nframes` for a
+    /// single-segment plan; preserved across roaming hops.
+    pub home_pop_frames: usize,
     /// Workflow segments below the top wait for a return value before
     /// executing.
     pub wait_for_return: bool,
@@ -132,9 +140,11 @@ pub enum Msg {
     State {
         info: SegmentInfo,
         state: CapturedState,
-        /// Class of the top frame travels with the state (the paper ships
-        /// "the current class of the top frame" eagerly).
-        bundled: Vec<ClassDef>,
+        /// Classes travelling with the state (the paper ships "the current
+        /// class of the top frame" eagerly; the `CodeShipping` policy and
+        /// the peer class cache decide the exact set). Shared [`Arc`]s:
+        /// shipping never deep-clones method bodies.
+        bundled: Vec<Arc<ClassDef>>,
         /// Serialized size of state + bundled classes (for metrics).
         state_bytes: u64,
         class_bytes: u64,
@@ -152,7 +162,7 @@ pub enum Msg {
     },
     ClassReply {
         session: SessionId,
-        class: ClassDef,
+        class: Arc<ClassDef>,
         bytes: u64,
     },
 

@@ -1,12 +1,14 @@
 //! Node model: configuration profiles and per-node state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use sod_vm::class::ClassDef;
 use sod_vm::interp::Vm;
 
 use crate::costs::AGENT_IDLE_SCALE_PER_MILLE;
 use crate::fs::SimFs;
+use crate::metrics::NetBytes;
 
 /// Static node parameters.
 #[derive(Clone, Debug)]
@@ -85,8 +87,18 @@ pub struct Node {
     pub vm: Vm,
     pub fs: SimFs,
     /// Class files available locally (the home node holds the application;
-    /// workers populate this as classes ship in).
-    pub repo: HashMap<String, ClassDef>,
+    /// workers populate this as classes ship in). Entries are shared
+    /// [`Arc`]s: shipping a class clones a pointer, not the method bodies.
+    pub repo: HashMap<String, Arc<ClassDef>>,
+    /// The code cache's peer model: classes each peer node *provably*
+    /// holds, learned from traffic this node sent it (bundled `State`
+    /// classes and `ClassReply` payloads). Classes are never unloaded, so
+    /// an entry stays valid for the life of the run; destination-aware
+    /// bundling consults this to skip redundant re-ships to warm workers.
+    pub peer_classes: HashMap<usize, HashSet<String>>,
+    /// Outbound payload bytes this node put on the network, broken out as
+    /// state / class / object (surfaces code-cache savings per node).
+    pub net_sent: NetBytes,
     /// Pending client requests (socket accept queue), served FIFO. A ring
     /// buffer: fleet generators push hundreds of requests, so the O(n)
     /// `Vec::remove(0)` pop would make every accept linear in the backlog.
@@ -110,6 +122,8 @@ impl Node {
             vm,
             fs: SimFs::new(),
             repo: HashMap::new(),
+            peer_classes: HashMap::new(),
+            net_sent: NetBytes::default(),
             sock_queue: VecDeque::new(),
             sock_waiters: VecDeque::new(),
             slices: 0,
@@ -120,14 +134,33 @@ impl Node {
     /// Make a class available in the node's repository *and* load it into
     /// the VM (home-node deployment).
     pub fn deploy(&mut self, class: &ClassDef) -> sod_vm::error::VmResult<()> {
-        self.repo.insert(class.name.clone(), class.clone());
         self.vm.load_class(class)?;
+        self.repo
+            .insert(class.name.clone(), Arc::new(class.clone()));
         Ok(())
     }
 
     /// Register the class file without loading it (it will ship on demand).
     pub fn stage(&mut self, class: &ClassDef) {
-        self.repo.insert(class.name.clone(), class.clone());
+        self.repo
+            .insert(class.name.clone(), Arc::new(class.clone()));
+    }
+
+    /// Whether `peer` is known to hold `class` (sound, not complete: a
+    /// `false` only means this node cannot prove it).
+    pub fn peer_has_class(&self, peer: usize, class: &str) -> bool {
+        self.peer_classes
+            .get(&peer)
+            .is_some_and(|set| set.contains(class))
+    }
+
+    /// Record that `peer` holds `class` (it was shipped there, or observed
+    /// in traffic that proves it).
+    pub fn note_peer_class(&mut self, peer: usize, class: &str) {
+        self.peer_classes
+            .entry(peer)
+            .or_default()
+            .insert(class.to_owned());
     }
 }
 
@@ -167,5 +200,19 @@ mod tests {
         assert!(n.repo.contains_key("A"));
         // VM inherits the agent cost scale.
         assert_eq!(n.vm.cost_scale_per_mille, AGENT_IDLE_SCALE_PER_MILLE);
+    }
+
+    #[test]
+    fn peer_class_tracking() {
+        let mut n = Node::new(NodeConfig::cluster("n"));
+        assert!(!n.peer_has_class(2, "A"));
+        n.note_peer_class(2, "A");
+        assert!(n.peer_has_class(2, "A"));
+        // Knowledge is per peer, not global.
+        assert!(!n.peer_has_class(3, "A"));
+        assert!(!n.peer_has_class(2, "B"));
+        // Re-noting is idempotent.
+        n.note_peer_class(2, "A");
+        assert_eq!(n.peer_classes[&2].len(), 1);
     }
 }

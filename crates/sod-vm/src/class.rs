@@ -305,6 +305,36 @@ impl ClassDef {
             .collect()
     }
 
+    /// Names of the classes this class's code statically references —
+    /// `InvokeStatic` targets, `New` allocations, and static-field owners
+    /// — excluding itself. Sorted and deduplicated, so callers walking
+    /// the reference graph (the code-shipping closure) are deterministic.
+    ///
+    /// Virtual-call targets dispatch on the receiver's runtime class and
+    /// are *not* included; anything missed here still ships through the
+    /// on-demand class-request path.
+    pub fn referenced_classes(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        for m in &self.methods {
+            for i in &m.code {
+                let idx = match i {
+                    Instr::New(c)
+                    | Instr::GetStatic(c, _)
+                    | Instr::PutStatic(c, _)
+                    | Instr::InvokeStatic(c, _, _)
+                    | Instr::BringObjStaticTo(c, _, _) => *c,
+                    _ => continue,
+                };
+                if let Ok(name) = self.pool_str(idx) {
+                    if name != self.name {
+                        out.insert(name.to_owned());
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
     /// Approximate serialized "class file" size in bytes (paper Fig. 5
     /// compares 501 / 667 / 902 bytes for original / status-check /
     /// fault-handler variants of the same class).
@@ -389,6 +419,29 @@ mod tests {
         assert!(e.covers(2));
         assert!(e.covers(4));
         assert!(!e.covers(5));
+    }
+
+    #[test]
+    fn referenced_classes_are_static_refs_minus_self() {
+        let mut c = ClassDef::new("Main");
+        let helper = c.intern("Helper");
+        let util = c.intern("Util");
+        let this = c.intern("Main");
+        let f = c.intern("f");
+        c.methods.push(MethodDef::new("m", 0, 0).with_code(
+            vec![
+                Instr::New(helper),
+                Instr::InvokeStatic(util, f, 0),
+                Instr::GetStatic(util, f),
+                // Self-references are excluded.
+                Instr::InvokeStatic(this, f, 0),
+                Instr::Ret,
+            ],
+            vec![1, 1, 1, 1, 1],
+        ));
+        assert_eq!(c.referenced_classes(), vec!["Helper", "Util"]);
+        // A class with no code references nothing.
+        assert!(ClassDef::new("Leaf").referenced_classes().is_empty());
     }
 
     #[test]

@@ -19,4 +19,7 @@ pub mod programs;
 
 pub use characteristics::{characterize, Characteristics};
 pub use fleet::ArrivalSchedule;
-pub use programs::{fft_class, fib_class, nqueens_class, tsp_class, Workload, WORKLOADS};
+pub use programs::{
+    fft_class, fib_class, handler_fleet_classes, handler_fleet_expected, nqueens_class, tsp_class,
+    Workload, WORKLOADS,
+};

@@ -527,6 +527,71 @@ pub fn tsp_class() -> ClassDef {
         .expect("tsp verifies")
 }
 
+/// The three-class request handler for code-shipping (fleet) experiments:
+/// `Gateway.main(n)` calls `Kernel.work(n)`, a long mixing loop that
+/// finishes by folding its accumulator through `Mix.finish`. The loop is
+/// where slice-budget offload stops the thread (`Mix` enters the stack
+/// only after the loop), so the migrated frame is always `Kernel.work` —
+/// and the class set the migration needs spans `Kernel` *and* `Mix`.
+/// That split is what separates the `CodeShipping` policies: `BundleTop`
+/// ships `Kernel` eagerly and `Mix` on demand, `BundleReachable` ships
+/// both eagerly, `Never` ships both on demand, and the peer cache makes
+/// every one of them free on a warm worker.
+///
+/// Classes come back *plain*; preprocess before deploying, as with every
+/// other workload.
+pub fn handler_fleet_classes() -> Vec<ClassDef> {
+    let mix = ClassBuilder::new("Mix")
+        .method("finish", &["a"], |m| {
+            m.line();
+            m.load("a").pushi(1_000_003).rem().retv();
+        })
+        .build()
+        .expect("mix verifies");
+    let kernel = ClassBuilder::new("Kernel")
+        .method("work", &["n"], |m| {
+            m.line();
+            m.pushi(0).store("acc");
+            m.pushi(0).store("i");
+            m.line();
+            m.label("loop");
+            m.load("i").load("n").if_cmp(Cmp::Ge, "done");
+            m.line();
+            m.load("acc")
+                .load("i")
+                .pushi(3)
+                .mul()
+                .pushi(1)
+                .add()
+                .pushi(7)
+                .rem()
+                .add()
+                .store("acc");
+            m.line();
+            m.load("i").pushi(1).add().store("i").goto("loop");
+            m.line();
+            m.label("done");
+            m.load("acc").invoke("Mix", "finish", 1).retv();
+        })
+        .build()
+        .expect("kernel verifies");
+    let gateway = ClassBuilder::new("Gateway")
+        .method("main", &["n"], |m| {
+            m.line();
+            m.load("n").invoke("Kernel", "work", 1).store("r");
+            m.line();
+            m.load("r").pushi(1).add().retv();
+        })
+        .build()
+        .expect("gateway verifies");
+    vec![gateway, kernel, mix]
+}
+
+/// Expected result of `Gateway.main(n)` (see [`handler_fleet_classes`]).
+pub fn handler_fleet_expected(n: i64) -> i64 {
+    (0..n).map(|i| (3 * i + 1) % 7).sum::<i64>() % 1_000_003 + 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +643,26 @@ mod tests {
         let b = run(&c, "FFT", 8);
         assert_eq!(a, b);
         assert!(a != 0, "checksum should be nonzero");
+    }
+
+    #[test]
+    fn handler_fleet_runs_and_spans_three_classes() {
+        let classes = handler_fleet_classes();
+        assert_eq!(classes.len(), 3);
+        // The static reference chain Gateway -> Kernel -> Mix is what the
+        // BundleReachable shipping closure walks.
+        assert_eq!(classes[0].referenced_classes(), vec!["Kernel"]);
+        assert_eq!(classes[1].referenced_classes(), vec!["Mix"]);
+        assert!(classes[2].referenced_classes().is_empty());
+
+        let mut vm = Vm::new();
+        for c in &classes {
+            vm.load_class(&preprocess_sod(c).unwrap()).unwrap();
+        }
+        let r = vm
+            .run_to_completion("Gateway", "main", &[Value::Int(50)])
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(handler_fleet_expected(50))));
     }
 
     #[test]

@@ -61,8 +61,8 @@ use std::fmt;
 use sod_net::{LinkSpec, Topology};
 use sod_runtime::trigger::{ArmedTrigger, Trigger};
 use sod_runtime::{
-    Cluster, ClusterReport, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport, SegmentSpec,
-    SodSim,
+    Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport,
+    SegmentSpec, SodSim,
 };
 use sod_vm::class::ClassDef;
 use sod_vm::value::Value;
@@ -348,6 +348,7 @@ pub struct Scenario {
     programs: Vec<ProgramDecl>,
     requests: Vec<(u64, String, String)>,
     slice_ns: Option<u64>,
+    code_shipping: Option<CodeShipping>,
     errors: Vec<ScenarioError>,
 }
 
@@ -552,6 +553,14 @@ impl Scenario {
         self
     }
 
+    /// Cluster-wide code-shipping policy (default
+    /// [`CodeShipping::BundleTop`]): what travels eagerly with migrating
+    /// state versus on demand — the ablation axis of the codecache bench.
+    pub fn code_shipping(mut self, policy: CodeShipping) -> Self {
+        self.code_shipping = Some(policy);
+        self
+    }
+
     /// Validate the description, wire the cluster, run the simulation to
     /// idle, and collect every program's report.
     pub fn run(self) -> Result<ScenarioReport, ScenarioError> {
@@ -632,6 +641,9 @@ impl Scenario {
         let mut cluster = Cluster::new(nodes);
         if let Some(ns) = self.slice_ns {
             cluster.slice_ns = ns;
+        }
+        if let Some(policy) = self.code_shipping {
+            cluster.code_shipping = policy;
         }
         let resolve_plan = |plan: &Plan| -> Result<MigrationPlan, ScenarioError> {
             let mut segments = Vec::with_capacity(plan.segments.len());

@@ -116,13 +116,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     for n in &cl.per_node {
         println!(
-            "node {:<6}   : {:>9} instr, {:>5} slices, {} ms busy",
+            "node {:<6}   : {:>9} instr, {:>5} slices, {} ms busy, sent {} B state / {} B class / {} B objects",
             n.name,
             n.instructions,
             n.slices,
             ns_to_ms_string(n.busy_ns),
+            n.sent.state,
+            n.sent.class,
+            n.sent.object,
         );
     }
+    let sent = cl.total_sent();
+    println!(
+        "network       : {} B total ({} state, {} class, {} objects)",
+        sent.total(),
+        sent.state,
+        sent.class,
+        sent.object,
+    );
     assert_eq!(ok, HANDLERS, "every handler must serve its request");
     assert!(offloaded > 0, "the slice budget must trip under load");
     Ok(())

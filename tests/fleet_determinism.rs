@@ -11,19 +11,20 @@ use sod::runtime::NodeConfig;
 use sod::scenario::{Fleet, Plan, Scenario, When};
 use sod::vm::value::Value;
 use sod::workloads::programs::fib_class;
-use sod::{ArrivalSchedule, ScenarioReport};
+use sod::{ArrivalSchedule, CodeShipping, ScenarioReport};
 
 const FLEET: usize = 120;
 
-/// 120 Fib(16) requests arriving in three bursts with jittered offsets on
+/// Fib(16) requests arriving in three bursts with jittered offsets on
 /// two edge nodes, each offloading its top frame to the shared cloud node
 /// once it has burned three execution slices at home.
-fn fleet_scenario(seed: u64) -> ScenarioReport {
+fn fleet_scenario_sized(seed: u64, programs: usize, shipping: CodeShipping) -> ScenarioReport {
     let class = preprocess_sod(&fib_class()).expect("preprocess fib");
     Scenario::new()
         // 10 µs slices: Fib(16) spans many slices, so the 3-slice CPU
         // budget below trips on every request.
         .slice_ns(10_000)
+        .code_shipping(shipping)
         .node("edge0", NodeConfig::cluster("edge0"))
         .deploys(&class)
         .node("edge1", NodeConfig::cluster("edge1"))
@@ -31,13 +32,17 @@ fn fleet_scenario(seed: u64) -> ScenarioReport {
         .node("cloud", NodeConfig::cloud("cloud"))
         .fleet(
             Fleet::new("Fib", "main", vec![Value::Int(16)])
-                .programs(FLEET)
+                .programs(programs)
                 .across(&["edge0", "edge1"])
                 .arrivals(ArrivalSchedule::bursty(40, 20 * MS).with_jitter(MS), seed)
                 .migrate(When::OnCpuSliceBudget(3), Plan::top_to("cloud", 1)),
         )
         .run()
         .expect("fleet runs")
+}
+
+fn fleet_scenario(seed: u64) -> ScenarioReport {
+    fleet_scenario_sized(seed, FLEET, CodeShipping::default())
 }
 
 #[test]
@@ -98,4 +103,41 @@ fn hundred_plus_program_fleet_completes_with_percentiles() {
     assert!(per_program.iter().all(|&i| i > 0));
     // Sanity: results are correct under heavy interleaving.
     assert!(r.programs().iter().all(|p| p.report.result == Some(987)));
+}
+
+#[test]
+fn bit_identical_under_each_code_shipping_policy() {
+    // The cache-aware shipping layer must not cost determinism: under
+    // every policy, same seed ⇒ byte-identical ScenarioReport. A smaller
+    // fleet keeps the 8 runs cheap; the policies still diverge from each
+    // other (different bundles ⇒ different transfer timings).
+    let mut reports = Vec::new();
+    for policy in [
+        CodeShipping::BundleTop,
+        CodeShipping::BundleAlways,
+        CodeShipping::BundleReachable,
+        CodeShipping::Never,
+    ] {
+        let a = fleet_scenario_sized(42, 30, policy);
+        let b = fleet_scenario_sized(42, 30, policy);
+        assert_eq!(a, b, "{policy:?} must be bit-identical per seed");
+        assert_eq!(a.cluster.completed, 30, "{policy:?} must serve the fleet");
+        assert!(
+            a.programs().iter().all(|p| p.report.result == Some(987)),
+            "{policy:?} must compute the same results"
+        );
+        reports.push(a);
+    }
+    // Warm-worker savings: the peer-tracked default ships strictly fewer
+    // class bytes than the pre-cache always-bundle baseline.
+    let top = reports[0].cluster.total_sent();
+    let always = reports[1].cluster.total_sent();
+    assert!(
+        top.class < always.class,
+        "BundleTop ({}) must undercut BundleAlways ({})",
+        top.class,
+        always.class
+    );
+    // Identical guest work regardless of shipping policy.
+    assert_eq!(top.state, always.state);
 }
