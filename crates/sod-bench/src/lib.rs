@@ -10,5 +10,6 @@ pub mod scale;
 pub mod tables;
 
 pub use codecache::{codecache_json, codecache_table, run_codecache_fleet};
-pub use scale::{run_scale_fleet, scale_json, scale_table, scale_table_for};
+pub use scale::{run_scale_fleet, scale_json, scale_table, scale_table_for, ScaleRow};
+pub use sod::Scheduler;
 pub use tables::*;

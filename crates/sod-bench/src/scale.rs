@@ -1,14 +1,23 @@
-//! The `scale` table: fleet-size sweep with latency percentiles.
+//! The `scale` table: fleet-size × scheduler sweep with latency
+//! percentiles.
 //!
 //! Not a paper table — the paper evaluates one program at a time — but the
 //! ROADMAP's cloud-elasticity direction: sweep the number of concurrent
-//! programs (10/100/500), serve them open-loop across two edge nodes with
-//! an `OnCpuSliceBudget` offload policy to a shared cloud node, and report
+//! programs, serve them open-loop across two edge nodes with an
+//! `OnCpuSliceBudget` offload policy to a shared cloud node, and report
 //! nearest-rank latency percentiles, throughput, and per-node utilization
-//! from the [`sod::ClusterReport`]. [`scale_json`] renders the same sweep
-//! as a `BENCH_scale.json`-compatible summary for machine consumption.
+//! from the [`sod::ClusterReport`]. Since the sharded per-node event
+//! queue landed, **scheduler** is a sweep dimension too: every fleet size
+//! runs under both [`Scheduler::GlobalHeap`] and [`Scheduler::Sharded`],
+//! with per-row wall-clock so the ablation shows what sharding buys (the
+//! virtual-time results are bit-identical by construction — the
+//! `scheduler_equivalence` suite enforces it). [`scale_json`] renders the
+//! same sweep as a `BENCH_scale.json`-compatible summary for machine
+//! consumption; `bin/scale` runs the big-fleet sweep
+//! ([`SCALE_FLEET_SWEEP`]: 1k/5k/10k programs).
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use sod::net::{ns_to_ms_string, MS};
 use sod::preprocess::preprocess_sod;
@@ -16,20 +25,37 @@ use sod::runtime::NodeConfig;
 use sod::scenario::{Fleet, Plan, Scenario, When};
 use sod::vm::value::Value;
 use sod::workloads::programs::fib_class;
-use sod::{ArrivalSchedule, ClusterReport};
+use sod::{ArrivalSchedule, ClusterReport, Scheduler};
 
-/// Fleet sizes the shipped table sweeps.
+/// Fleet sizes the shipped table sweeps (kept cheap: `bin/all` runs it).
 pub const SCALE_SWEEP: [usize; 3] = [10, 100, 500];
+/// Fleet sizes for the big `bin/scale` scheduler ablation.
+pub const SCALE_FLEET_SWEEP: [usize; 3] = [1000, 5000, 10_000];
+/// Both schedulers, in ablation order (baseline first).
+pub const SCALE_SCHEDULERS: [Scheduler; 2] = [Scheduler::GlobalHeap, Scheduler::Sharded];
 /// Seed for the sweep's arrival jitter (any fixed value works; runs are
 /// deterministic per seed).
 pub const SCALE_SEED: u64 = 42;
 
-/// Run one fleet of `programs` Fib(16) requests and aggregate it.
-pub fn run_scale_fleet(programs: usize, seed: u64) -> ClusterReport {
+/// One sweep entry: a fleet size simulated under one scheduler.
+pub struct ScaleRow {
+    pub scheduler: Scheduler,
+    pub programs: usize,
+    pub report: ClusterReport,
+    /// Host wall-clock the simulation took, in milliseconds (the only
+    /// column that is *not* deterministic — it measures the simulator,
+    /// not the simulation).
+    pub wall_ms: u64,
+}
+
+/// Run one fleet of `programs` Fib(16) requests under `scheduler` and
+/// aggregate it.
+pub fn run_scale_fleet(programs: usize, seed: u64, scheduler: Scheduler) -> ClusterReport {
     let class = preprocess_sod(&fib_class()).expect("preprocess fib");
     let report = Scenario::new()
         // 10 µs slices so the 3-slice CPU budget trips mid-computation.
         .slice_ns(10_000)
+        .scheduler(scheduler)
         .node("edge0", NodeConfig::cluster("edge0"))
         .deploys(&class)
         .node("edge1", NodeConfig::cluster("edge1"))
@@ -47,23 +73,35 @@ pub fn run_scale_fleet(programs: usize, seed: u64) -> ClusterReport {
     report.cluster
 }
 
-/// Run the sweep once: one `(fleet size, aggregate)` row per size. The
-/// table and JSON renderers below both consume this, so a caller wanting
-/// both pays for the simulation once.
-pub fn sweep(sizes: &[usize]) -> Vec<(usize, ClusterReport)> {
-    sizes
-        .iter()
-        .map(|&n| (n, run_scale_fleet(n, SCALE_SEED)))
-        .collect()
+/// Run the sweep once: one [`ScaleRow`] per `(size, scheduler)` pair,
+/// wall-clock measured per row. The table and JSON renderers below both
+/// consume this, so a caller wanting both pays for the simulation once.
+pub fn sweep(sizes: &[usize]) -> Vec<ScaleRow> {
+    let mut rows = Vec::with_capacity(sizes.len() * SCALE_SCHEDULERS.len());
+    for &programs in sizes {
+        for scheduler in SCALE_SCHEDULERS {
+            let started = Instant::now();
+            let report = run_scale_fleet(programs, SCALE_SEED, scheduler);
+            rows.push(ScaleRow {
+                scheduler,
+                programs,
+                report,
+                wall_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+    }
+    rows
 }
 
 /// Render a finished sweep as the human-readable table.
-pub fn render_table(rows: &[(usize, ClusterReport)]) -> String {
+pub fn render_table(rows: &[ScaleRow]) -> String {
     let mut out = String::from(
-        "TABLE SCALE. FLEET SWEEP (open-loop, OnCpuSliceBudget offload; nearest-rank percentiles)\n\
-         programs ok   fail p50(ms)  p95(ms)  p99(ms)  mean(ms) makespan(ms) req/s    cloud-instr%\n",
+        "TABLE SCALE. FLEET × SCHEDULER SWEEP (open-loop, OnCpuSliceBudget offload; \
+         nearest-rank percentiles; wall = host ms)\n\
+         programs sched      ok    fail p50(ms)  p95(ms)  p99(ms)  mean(ms) makespan(ms) req/s    cloud-instr% wall(ms)\n",
     );
-    for (n, r) in rows {
+    for row in rows {
+        let r = &row.report;
         let total_instr: u64 = r.per_node.iter().map(|u| u.instructions).sum();
         let cloud_instr = r
             .per_node
@@ -73,8 +111,9 @@ pub fn render_table(rows: &[(usize, ClusterReport)]) -> String {
             .unwrap_or(0);
         let _ = writeln!(
             out,
-            "{:<8} {:<4} {:<4} {:<8} {:<8} {:<8} {:<8} {:<12} {:<8.1} {:.1}",
-            n,
+            "{:<8} {:<10} {:<5} {:<4} {:<8} {:<8} {:<8} {:<8} {:<12} {:<8.1} {:<12.1} {}",
+            row.programs,
+            format!("{:?}", row.scheduler),
             r.completed,
             r.failed,
             ns_to_ms_string(r.p50_latency_ns),
@@ -84,17 +123,18 @@ pub fn render_table(rows: &[(usize, ClusterReport)]) -> String {
             ns_to_ms_string(r.makespan_ns),
             r.throughput_millirps as f64 / 1000.0,
             cloud_instr as f64 * 100.0 / total_instr.max(1) as f64,
+            row.wall_ms,
         );
     }
     out
 }
 
-/// The human-readable sweep over arbitrary fleet sizes.
+/// The human-readable sweep over arbitrary fleet sizes (both schedulers).
 pub fn scale_table_for(sizes: &[usize]) -> String {
     render_table(&sweep(sizes))
 }
 
-/// The shipped sweep (10/100/500 programs).
+/// The shipped sweep (10/100/500 programs × both schedulers).
 pub fn scale_table() -> String {
     scale_table_for(&SCALE_SWEEP)
 }
@@ -117,28 +157,35 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a finished sweep as a `BENCH_scale.json`-compatible summary:
-/// one row object per fleet size, all durations in virtual ns.
-pub fn render_json(sweep_rows: &[(usize, ClusterReport)]) -> String {
+/// one row object per `(fleet size, scheduler)` pair, all virtual
+/// durations in ns, plus the host `wall_ms` the row took to simulate.
+pub fn render_json(sweep_rows: &[ScaleRow]) -> String {
     let mut rows = Vec::with_capacity(sweep_rows.len());
-    for (n, r) in sweep_rows {
+    for row in sweep_rows {
+        let r = &row.report;
         let per_node: Vec<String> = r
             .per_node
             .iter()
             .map(|u| {
                 format!(
-                    "{{\"name\":\"{}\",\"instructions\":{},\"slices\":{},\"busy_ns\":{}}}",
+                    "{{\"name\":\"{}\",\"instructions\":{},\"slices\":{},\"busy_ns\":{},\
+                     \"events\":{}}}",
                     json_escape(&u.name),
                     u.instructions,
                     u.slices,
-                    u.busy_ns
+                    u.busy_ns,
+                    u.events
                 )
             })
             .collect();
         rows.push(format!(
-            "{{\"programs\":{},\"completed\":{},\"failed\":{},\"p50_ns\":{},\"p95_ns\":{},\
+            "{{\"programs\":{},\"scheduler\":\"{:?}\",\"wall_ms\":{},\"completed\":{},\
+             \"failed\":{},\"p50_ns\":{},\"p95_ns\":{},\
              \"p99_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"makespan_ns\":{},\
              \"throughput_millirps\":{},\"per_node\":[{}]}}",
-            n,
+            row.programs,
+            row.scheduler,
+            row.wall_ms,
             r.completed,
             r.failed,
             r.p50_latency_ns,
@@ -171,15 +218,25 @@ mod tests {
 
     #[test]
     fn small_sweep_has_shape_and_valid_json() {
-        let t = scale_table_for(&[5, 10]);
+        let rows = sweep(&[5, 10]);
+        let t = render_table(&rows);
         assert!(t.contains("TABLE SCALE"));
-        assert_eq!(t.lines().count(), 4, "header(2) + one line per size");
+        assert_eq!(
+            t.lines().count(),
+            6,
+            "header(2) + one line per (size, scheduler): {t}"
+        );
+        assert!(t.contains("GlobalHeap") && t.contains("Sharded"));
 
-        let j = scale_json(&[5]);
+        let j = render_json(&rows);
         assert!(j.starts_with("{\"bench\":\"scale\""));
         assert!(j.contains("\"programs\":5"));
         assert!(j.contains("\"p99_ns\":"));
+        assert!(j.contains("\"scheduler\":\"GlobalHeap\""));
+        assert!(j.contains("\"scheduler\":\"Sharded\""));
+        assert!(j.contains("\"wall_ms\":"));
         assert!(j.contains("\"per_node\":[{\"name\":\"edge0\""));
+        assert!(j.contains("\"events\":"));
         // Balanced braces/brackets — cheap JSON well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
@@ -187,11 +244,21 @@ mod tests {
 
     #[test]
     fn scale_fleet_completes_and_offloads() {
-        let r = run_scale_fleet(10, SCALE_SEED);
+        let r = run_scale_fleet(10, SCALE_SEED, Scheduler::Sharded);
         assert_eq!(r.completed, 10);
         assert_eq!(r.failed, 0);
         assert!(r.p50_latency_ns > 0 && r.p50_latency_ns <= r.p99_latency_ns);
         let cloud = r.per_node.iter().find(|u| u.name == "cloud").unwrap();
         assert!(cloud.instructions > 0, "offload must reach the cloud");
+    }
+
+    #[test]
+    fn schedulers_agree_on_the_scale_fleet() {
+        // The sweep's own differential check: both schedulers aggregate to
+        // the identical ClusterReport (events, percentiles, bytes, all of
+        // it) — the full-width version lives in `scheduler_equivalence`.
+        let a = run_scale_fleet(25, SCALE_SEED, Scheduler::GlobalHeap);
+        let b = run_scale_fleet(25, SCALE_SEED, Scheduler::Sharded);
+        assert_eq!(a, b);
     }
 }

@@ -3,9 +3,10 @@
 //! The SOD paper's evaluation runs on a Gigabit cluster, a simulated
 //! WAN-connected grid, and a bandwidth-limited Wi-Fi link to an iPhone.
 //! This crate provides the deterministic substrate those experiments run on
-//! here: a virtual clock in nanoseconds, an event queue, and point-to-point
-//! links with latency and bandwidth (FIFO serialization of concurrent
-//! transfers).
+//! here: a virtual clock in nanoseconds, an event queue (a global heap or
+//! per-node shards under a conservative safe horizon — see [`Scheduler`]),
+//! and point-to-point links with latency and bandwidth (FIFO serialization
+//! of concurrent transfers).
 //!
 //! Everything is single-threaded and deterministic: given the same initial
 //! world and messages, a simulation always produces the same timeline. The
@@ -19,6 +20,6 @@ pub mod time;
 pub mod topology;
 
 pub use link::{Link, LinkSpec};
-pub use sim::{Sim, SimCtx, World};
+pub use sim::{Scheduler, Sim, SimCtx, World};
 pub use time::{ns_to_ms_string, ns_to_s_string, MS, NS_PER_MS, NS_PER_SEC, NS_PER_US, SEC, US};
 pub use topology::Topology;

@@ -79,6 +79,17 @@ impl Topology {
     pub fn total_bytes_carried(&self) -> u64 {
         self.links.values().map(|l| l.bytes_carried).sum()
     }
+
+    /// The smallest one-way propagation latency any link can have: the
+    /// minimum over the default spec and every override. This is the
+    /// sharded scheduler's conservative lookahead — no message travelling
+    /// over a link can arrive sooner than this after it is sent.
+    pub fn min_link_latency_ns(&self) -> u64 {
+        self.overrides
+            .values()
+            .map(|s| s.latency_ns)
+            .fold(self.default_spec.latency_ns, u64::min)
+    }
 }
 
 #[cfg(test)]

@@ -65,7 +65,7 @@ mod session;
 
 use std::collections::HashMap;
 
-use sod_net::{Sim, SimCtx, Topology, World};
+use sod_net::{Scheduler, Sim, SimCtx, Topology, World};
 use sod_vm::value::{ObjId, Value};
 
 use crate::metrics::{ClusterReport, NodeUtilization, RunReport};
@@ -283,6 +283,7 @@ impl Cluster {
                 instructions: n.vm.instr_count,
                 slices: n.slices,
                 busy_ns: n.busy_ns,
+                events: n.events,
                 sent: n.net_sent,
             })
             .collect();
@@ -300,6 +301,9 @@ impl World for Cluster {
     type Msg = Msg;
 
     fn on_message(&mut self, dst: usize, msg: Msg, ctx: &mut SimCtx<'_, Msg>) {
+        // Per-node event accounting: this node's shard delivery count
+        // under the sharded scheduler (surfaced in `NodeUtilization`).
+        self.nodes[dst].events += 1;
         match msg {
             Msg::StartProgram { program } => {
                 let p = &self.programs[program as usize];
@@ -434,9 +438,18 @@ pub struct SodSim {
 }
 
 impl SodSim {
+    /// A driver on the default [`Scheduler`] (per-node sharded queues).
     pub fn new(cluster: Cluster, topo: Topology) -> Self {
+        SodSim::with_scheduler(cluster, topo, Scheduler::default())
+    }
+
+    /// A driver on an explicit event [`Scheduler`]. Both schedulers
+    /// produce bit-identical reports — the choice only affects simulator
+    /// cost at fleet scale (see the `scheduler_equivalence` suite and the
+    /// `sod-bench` scale ablation).
+    pub fn with_scheduler(cluster: Cluster, topo: Topology, scheduler: Scheduler) -> Self {
         SodSim {
-            sim: Sim::new(cluster, topo),
+            sim: Sim::with_scheduler(cluster, topo, scheduler),
         }
     }
 

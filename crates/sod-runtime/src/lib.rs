@@ -108,4 +108,5 @@ pub use metrics::{
 };
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};
+pub use sod_net::Scheduler;
 pub use trigger::{ArmedTrigger, Trigger};

@@ -110,6 +110,11 @@ pub struct Node {
     pub slices: u64,
     /// Virtual ns spent executing guest code (CPU-scaled; utilization).
     pub busy_ns: u64,
+    /// Simulator events delivered to this node — its shard's delivery
+    /// count under the sharded scheduler. Counted at message dispatch, so
+    /// the figure is identical under both schedulers (delivery order is
+    /// bit-identical; see the scheduler-equivalence suite).
+    pub events: u64,
 }
 
 impl Node {
@@ -128,6 +133,7 @@ impl Node {
             sock_waiters: VecDeque::new(),
             slices: 0,
             busy_ns: 0,
+            events: 0,
         }
     }
 

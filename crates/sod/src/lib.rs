@@ -93,5 +93,5 @@ pub use sod_vm as vm;
 pub use sod_workloads as workloads;
 
 pub use scenario::{Fleet, Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
-pub use sod_runtime::{ClusterReport, CodeShipping, NetBytes};
+pub use sod_runtime::{ClusterReport, CodeShipping, NetBytes, Scheduler};
 pub use sod_workloads::ArrivalSchedule;

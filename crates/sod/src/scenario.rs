@@ -58,7 +58,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use sod_net::{LinkSpec, Topology};
+use sod_net::{LinkSpec, Scheduler, Topology};
 use sod_runtime::trigger::{ArmedTrigger, Trigger};
 use sod_runtime::{
     Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport,
@@ -349,6 +349,7 @@ pub struct Scenario {
     requests: Vec<(u64, String, String)>,
     slice_ns: Option<u64>,
     code_shipping: Option<CodeShipping>,
+    scheduler: Option<Scheduler>,
     errors: Vec<ScenarioError>,
 }
 
@@ -561,6 +562,16 @@ impl Scenario {
         self
     }
 
+    /// Event-scheduler choice for the simulation (default
+    /// [`Scheduler::Sharded`]: per-node event shards under a conservative
+    /// safe horizon). Both schedulers produce bit-identical
+    /// [`ScenarioReport`]s — the `scheduler_equivalence` suite pins that —
+    /// so this only trades simulator cost at fleet scale.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
     /// Validate the description, wire the cluster, run the simulation to
     /// idle, and collect every program's report.
     pub fn run(self) -> Result<ScenarioReport, ScenarioError> {
@@ -704,7 +715,7 @@ impl Scenario {
             }
         }
 
-        let mut sim = SodSim::new(cluster, topo);
+        let mut sim = SodSim::with_scheduler(cluster, topo, self.scheduler.unwrap_or_default());
         for pid in 0..self.programs.len() as u32 {
             sim.start_program(self.programs[pid as usize].start_at, pid);
         }

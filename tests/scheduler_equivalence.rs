@@ -1,0 +1,396 @@
+//! Differential equivalence of the event schedulers: every scenario
+//! shape the repository knows — single migration, multi-segment chains,
+//! WAN roaming, exception-driven OnOom offload, every `ArrivalSchedule`,
+//! every `CodeShipping` policy — must produce **bit-identical**
+//! `ScenarioReport`s (and therefore `ClusterReport`s, per-node event
+//! counts included) under `Scheduler::GlobalHeap` and
+//! `Scheduler::Sharded`. This suite is the safety net that let the
+//! sharded per-node queue become the default: any divergence in delivery
+//! order, tie-breaking, or accounting between the two schedulers fails
+//! loudly here.
+//!
+//! The property tests at the bottom push the same claim through random
+//! fleets (node count 2–16, up to 300 programs, random triggers, links,
+//! schedules, and seeds), plus byte conservation and same-seed
+//! determinism under `Sharded`.
+
+use proptest::prelude::*;
+use sod::asm::builder::ClassBuilder;
+use sod::net::{LinkSpec, MS, US};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::NodeConfig;
+use sod::scenario::{Fleet, Plan, Preset, Scenario, ScenarioReport, When};
+use sod::vm::class::ClassDef;
+use sod::vm::value::Value;
+use sod::workloads::apps::search_class;
+use sod::workloads::programs::fib_class;
+use sod::{ArrivalSchedule, CodeShipping, NetBytes, Scheduler};
+
+/// Build the scenario twice — once per scheduler — and require the full
+/// reports (results, timings, migrations, cluster aggregates, per-node
+/// utilization and event counts) to compare `==`.
+fn assert_equivalent(label: &str, build: impl Fn() -> Scenario) -> ScenarioReport {
+    let global = build()
+        .scheduler(Scheduler::GlobalHeap)
+        .run()
+        .unwrap_or_else(|e| panic!("{label}: GlobalHeap run failed: {e}"));
+    let sharded = build()
+        .scheduler(Scheduler::Sharded)
+        .run()
+        .unwrap_or_else(|e| panic!("{label}: Sharded run failed: {e}"));
+    assert_eq!(
+        global, sharded,
+        "{label}: ScenarioReports diverge between schedulers"
+    );
+    sharded
+}
+
+fn fib() -> ClassDef {
+    preprocess_sod(&fib_class()).expect("preprocess fib")
+}
+
+#[test]
+fn single_migration_is_scheduler_equivalent() {
+    let report = assert_equivalent("single migration", || {
+        Scenario::new()
+            .slice_ns(10_000)
+            .node("home", NodeConfig::cluster("home"))
+            .deploys(&fib())
+            .node("worker", NodeConfig::cluster("worker"))
+            .program("Fib", "main", vec![Value::Int(16)])
+            .on("home")
+            .migrate(When::At(50 * US), Plan::top_to("worker", 2))
+    });
+    assert_eq!(report.first().result, Some(987));
+    assert_eq!(report.first().migrations.len(), 1);
+}
+
+#[test]
+fn chained_segments_are_scheduler_equivalent() {
+    let report = assert_equivalent("chain", || {
+        Scenario::new()
+            .slice_ns(10_000)
+            .node("home", NodeConfig::cluster("home"))
+            .deploys(&fib())
+            .node("w0", NodeConfig::cluster("w0"))
+            .node("w1", NodeConfig::cluster("w1"))
+            .program("Fib", "main", vec![Value::Int(16)])
+            .on("home")
+            .migrate(When::At(50 * US), Plan::chain(&[("w0", 1), ("w1", 2)]))
+    });
+    assert_eq!(report.first().result, Some(987));
+    assert!(!report.first().migrations.is_empty());
+}
+
+#[test]
+fn whole_stack_migration_is_scheduler_equivalent() {
+    let report = assert_equivalent("whole stack", || {
+        Scenario::new()
+            .slice_ns(10_000)
+            .node("home", NodeConfig::cluster("home"))
+            .deploys(&fib())
+            .node("worker", NodeConfig::cluster("worker"))
+            .program("Fib", "main", vec![Value::Int(14)])
+            .on("home")
+            .migrate(When::At(50 * US), Plan::whole_stack_to("worker"))
+    });
+    assert_eq!(report.first().result, Some(377));
+}
+
+/// The roaming shape (paper §IV.C, trimmed): a search task hops across
+/// WAN file servers instead of pulling their files over NFS.
+#[test]
+fn roaming_over_wan_grid_is_scheduler_equivalent() {
+    let nfiles = 3usize;
+    let report = assert_equivalent("roaming", || {
+        let class = preprocess_sod(&search_class()).expect("preprocess search");
+        let mut scenario = Scenario::new()
+            .topology(Preset::WanGrid)
+            .node("client", NodeConfig::cluster("client"))
+            .deploys(&class);
+        for i in 0..nfiles {
+            scenario = scenario
+                .node(format!("srv{i}"), NodeConfig::cluster(format!("srv{i}")))
+                .file(format!("/srv/{i}/doc.txt"), 1 << 20, Some(9));
+        }
+        for i in 0..nfiles {
+            let prefix = format!("/srv/{i}/");
+            let server = format!("srv{i}");
+            scenario = scenario.mount_on("client", &prefix, &server);
+            for j in 0..nfiles {
+                if j != i {
+                    scenario = scenario.mount_on(format!("srv{j}"), &prefix, &server);
+                }
+            }
+        }
+        scenario
+            .program(
+                "Search",
+                "main",
+                vec![Value::Int(nfiles as i64), Value::Int(1), Value::Int(1)],
+            )
+            .on("client")
+    });
+    assert!(
+        !report.first().migrations.is_empty(),
+        "the task must actually roam"
+    );
+}
+
+/// Exception-driven offload: the allocation overflows a small device
+/// heap, `When::OnOom` rescues the whole stack onto the cloud.
+#[test]
+fn on_oom_offload_is_scheduler_equivalent() {
+    let report = assert_equivalent("OnOom offload", || {
+        let class = ClassBuilder::new("Big")
+            .method("alloc", &["n"], |m| {
+                m.line();
+                m.load("n").newarr().store("a");
+                m.line();
+                m.load("a").arrlen().retv();
+            })
+            .method("main", &["n"], |m| {
+                m.line();
+                m.load("n").invoke("Big", "alloc", 1).store("r");
+                m.line();
+                m.load("r").retv();
+            })
+            .build()
+            .expect("valid class");
+        let class = preprocess_sod(&class).expect("preprocess");
+        let mut phone = NodeConfig::device("phone");
+        phone.mem_limit = Some(4 << 20);
+        Scenario::new()
+            .node("phone", phone)
+            .deploys(&class)
+            .node("cloud", NodeConfig::cloud("cloud"))
+            .link("phone", "cloud", LinkSpec::wifi_kbps(764))
+            .program("Big", "main", vec![Value::Int(2_000_000)])
+            .on("phone")
+            .migrate(When::OnOom, Plan::whole_stack_to("cloud"))
+    });
+    assert_eq!(report.first().result, Some(2_000_000));
+    assert_eq!(report.first().migrations.len(), 1, "the rescue hop");
+}
+
+/// A fleet under the given arrival schedule, offloading on a CPU-slice
+/// budget — the shape every fleet bench and test uses.
+fn fleet_scenario(schedule: ArrivalSchedule, seed: u64, shipping: CodeShipping) -> Scenario {
+    Scenario::new()
+        .slice_ns(10_000)
+        .code_shipping(shipping)
+        .node("edge0", NodeConfig::cluster("edge0"))
+        .deploys(&fib())
+        .node("edge1", NodeConfig::cluster("edge1"))
+        .deploys(&fib())
+        .node("cloud", NodeConfig::cloud("cloud"))
+        .fleet(
+            Fleet::new("Fib", "main", vec![Value::Int(14)])
+                .programs(40)
+                .across(&["edge0", "edge1"])
+                .arrivals(schedule, seed)
+                .migrate(When::OnCpuSliceBudget(3), Plan::top_to("cloud", 1)),
+        )
+}
+
+#[test]
+fn every_arrival_schedule_is_scheduler_equivalent() {
+    for (name, schedule) in [
+        ("uniform", ArrivalSchedule::uniform(2 * MS).with_jitter(MS)),
+        (
+            "bursty",
+            ArrivalSchedule::bursty(10, 5 * MS).with_jitter(MS),
+        ),
+        ("ramp", ArrivalSchedule::ramp(4 * MS, 500 * US)),
+    ] {
+        let report = assert_equivalent(name, || {
+            fleet_scenario(schedule, 42, CodeShipping::default())
+        });
+        assert_eq!(report.cluster.completed, 40, "{name}: fleet must finish");
+        assert!(report.cluster.p50_latency_ns > 0, "{name}");
+    }
+}
+
+#[test]
+fn every_code_shipping_policy_is_scheduler_equivalent() {
+    for policy in [
+        CodeShipping::BundleTop,
+        CodeShipping::Never,
+        CodeShipping::BundleReachable,
+        CodeShipping::BundleAlways,
+    ] {
+        let report = assert_equivalent(&format!("{policy:?}"), || {
+            fleet_scenario(ArrivalSchedule::uniform(MS), 7, policy)
+        });
+        assert_eq!(report.cluster.completed, 40, "{policy:?}");
+    }
+}
+
+#[test]
+fn client_requests_are_scheduler_equivalent() {
+    // The photo-share accept-queue path: requests park threads on the
+    // socket queue, so delivery interleaving is maximally visible here.
+    let report = assert_equivalent("client requests", || {
+        let server = ClassBuilder::new("Srv")
+            .method("main", &["n"], |m| {
+                m.line();
+                m.pushi(0).store("i");
+                m.pushi(0).store("acc");
+                m.line();
+                m.label("loop");
+                m.load("i")
+                    .load("n")
+                    .if_cmp(sod::vm::instr::Cmp::Ge, "done");
+                m.line();
+                m.native("sock_accept", 0).store("req");
+                m.line();
+                m.load("acc").pushi(1).add().store("acc");
+                m.line();
+                m.load("i").pushi(1).add().store("i").goto("loop");
+                m.line();
+                m.label("done");
+                m.load("acc").retv();
+            })
+            .build()
+            .expect("valid server");
+        let server = preprocess_sod(&server).expect("preprocess");
+        Scenario::new()
+            .node("srv", NodeConfig::cluster("srv"))
+            .deploys(&server)
+            .program("Srv", "main", vec![Value::Int(5)])
+            .on("srv")
+            .client_requests("srv", 5, ArrivalSchedule::uniform(MS), 3, "req-")
+    });
+    assert_eq!(report.first().result, Some(5));
+}
+
+/// Per-node event counts must be populated, partition the cluster total,
+/// and agree between schedulers (they are part of the `==` above; this
+/// pins that they are not trivially zero).
+#[test]
+fn per_node_event_counts_are_populated_and_equal() {
+    let report = assert_equivalent("event counts", || {
+        fleet_scenario(ArrivalSchedule::uniform(MS), 11, CodeShipping::default())
+    });
+    for node in &report.cluster.per_node {
+        assert!(node.events > 0, "node {} absorbed no events", node.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random fleets through both schedulers.
+// ---------------------------------------------------------------------------
+
+/// A randomized fleet over `nodes` cluster nodes: random arrival
+/// schedule, random link override, random migration trigger (or none),
+/// every member homed round-robin across all nodes and offloading to the
+/// last node.
+fn random_fleet(
+    scheduler: Scheduler,
+    nodes: usize,
+    programs: usize,
+    trigger: u8,
+    schedule: u8,
+    latency_us: u64,
+    seed: u64,
+) -> ScenarioReport {
+    let class = fib();
+    let names: Vec<String> = (0..nodes).map(|i| format!("n{i}")).collect();
+    let mut scenario = Scenario::new().slice_ns(10_000);
+    for name in &names {
+        scenario = scenario
+            .node(name.clone(), NodeConfig::cluster(name.clone()))
+            .deploys(&class);
+    }
+    // One random slow link between the first and last node.
+    scenario = scenario.link(
+        names[0].clone(),
+        names[nodes - 1].clone(),
+        LinkSpec::new(latency_us * US, 100_000_000),
+    );
+    let schedule = match schedule % 3 {
+        0 => ArrivalSchedule::uniform(MS).with_jitter(MS / 2),
+        1 => ArrivalSchedule::bursty(8, 4 * MS),
+        _ => ArrivalSchedule::ramp(2 * MS, 200 * US),
+    };
+    let across: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut fleet = Fleet::new("Fib", "main", vec![Value::Int(12)])
+        .programs(programs)
+        .across(&across)
+        .arrivals(schedule, seed);
+    let target = names[nodes - 1].clone();
+    match trigger % 4 {
+        0 => {} // no migration
+        1 => fleet = fleet.migrate(When::At(MS + seed % MS), Plan::top_to(target, 1)),
+        2 => {
+            fleet = fleet.migrate(
+                When::OnCpuSliceBudget(1 + seed % 3),
+                Plan::top_to(target, 1),
+            )
+        }
+        // Fib never faults on remote objects: arms but never fires, which
+        // must be equivalent too.
+        _ => fleet = fleet.migrate(When::OnObjectFaults(1), Plan::top_to(target, 1)),
+    }
+    scenario
+        .fleet(fleet)
+        .scheduler(scheduler)
+        .run()
+        .expect("random fleet runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_fleets_are_scheduler_equivalent(
+        nodes in 2usize..17,
+        programs in 1usize..301,
+        trigger in 0u8..4,
+        schedule in 0u8..3,
+        latency_us in 10u64..2_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let run = |s| random_fleet(s, nodes, programs, trigger, schedule, latency_us, seed);
+        let global = run(Scheduler::GlobalHeap);
+        let sharded = run(Scheduler::Sharded);
+        prop_assert_eq!(&global, &sharded, "schedulers diverged");
+
+        // Same-seed determinism under Sharded.
+        let again = run(Scheduler::Sharded);
+        prop_assert_eq!(&sharded, &again, "Sharded run is not deterministic");
+
+        // Every program completed and computed Fib(12).
+        prop_assert_eq!(sharded.cluster.completed, programs as u64);
+        prop_assert!(sharded.programs().iter().all(|p| p.report.result == Some(144)));
+
+        // Byte conservation: per-node send totals partition the cluster
+        // total, and the per-program accounting balances against it.
+        let total = sharded.cluster.total_sent();
+        let per_node = sharded
+            .cluster
+            .per_node
+            .iter()
+            .fold(NetBytes::default(), |acc, n| NetBytes {
+                state: acc.state + n.sent.state,
+                class: acc.class + n.sent.class,
+                object: acc.object + n.sent.object,
+            });
+        prop_assert_eq!(total, per_node);
+        let state: u64 = sharded
+            .programs()
+            .iter()
+            .flat_map(|p| p.report.migrations.iter())
+            .map(|m| m.state_bytes)
+            .sum();
+        let class: u64 = sharded.programs().iter().map(|p| p.report.class_bytes).sum();
+        let object: u64 = sharded.programs().iter().map(|p| p.report.object_bytes).sum();
+        prop_assert_eq!(total.state, state, "state bytes must balance");
+        prop_assert_eq!(total.class, class, "class bytes must balance");
+        prop_assert_eq!(total.object, object, "object bytes must balance");
+
+        // Per-node event counts partition the delivered total (non-zero
+        // somewhere: every program ran at least one slice).
+        prop_assert!(sharded.cluster.per_node.iter().map(|n| n.events).sum::<u64>() > 0);
+    }
+}
