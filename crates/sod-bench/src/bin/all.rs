@@ -11,6 +11,7 @@ fn main() {
         ("", sod_bench::roaming()),
         ("", sod_bench::scale_table()),
         ("", sod_bench::codecache_table()),
+        ("", sod_bench::chaos_table()),
     ] {
         println!("{name}{t}");
     }

@@ -1,0 +1,19 @@
+//! Regenerate the fault-tolerance sweep (`TABLE CHAOS`) and its
+//! `BENCH_chaos.json`-compatible summary.
+//!
+//! With no arguments the table and the JSON line both print to stdout;
+//! pass a path (e.g. `BENCH_chaos.json`) to write the JSON there instead.
+
+fn main() {
+    // Simulate the sweep once; render the table and the JSON from it.
+    let rows = sod_bench::chaos::sweep();
+    print!("{}", sod_bench::chaos::render_table(&rows));
+    let json = sod_bench::chaos::render_json(&rows);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON summary");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -5,10 +5,12 @@
 //! `bin/all` regenerates the full evaluation and is what `EXPERIMENTS.md`
 //! records.
 
+pub mod chaos;
 pub mod codecache;
 pub mod scale;
 pub mod tables;
 
+pub use chaos::{chaos_json, chaos_table, run_chaos_fleet};
 pub use codecache::{codecache_json, codecache_table, run_codecache_fleet};
 pub use scale::{run_scale_fleet, scale_json, scale_table, scale_table_for, ScaleRow};
 pub use sod::Scheduler;

@@ -14,11 +14,13 @@
 //! — nodes exchange messages whose delivery times are computed from the
 //! [`Topology`].
 
+pub mod chaos;
 pub mod link;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use chaos::{ChaosAction, ChaosEntry, ChaosPlan, ChaosState, DropReason};
 pub use link::{Link, LinkSpec};
 pub use sim::{Scheduler, Sim, SimCtx, World};
 pub use time::{ns_to_ms_string, ns_to_s_string, MS, NS_PER_MS, NS_PER_SEC, NS_PER_US, SEC, US};

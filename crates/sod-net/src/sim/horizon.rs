@@ -95,6 +95,7 @@ mod tests {
             s.push(Event {
                 at,
                 seq,
+                src: dst,
                 dst,
                 msg: 0,
             });

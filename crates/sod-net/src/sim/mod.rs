@@ -36,6 +36,7 @@ mod shard;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::chaos::{ChaosAction, ChaosPlan, ChaosState, DropReason};
 use crate::topology::Topology;
 
 use shard::{Event, ShardedQueue};
@@ -47,6 +48,25 @@ pub trait World {
 
     /// Handle `msg` arriving at node `dst` at virtual time `ctx.now()`.
     fn on_message(&mut self, dst: usize, msg: Self::Msg, ctx: &mut SimCtx<'_, Self::Msg>);
+
+    /// A chaos action fired at virtual time `now`, before any delivery at
+    /// that instant. The default ignores it; worlds override to fail
+    /// affected work and count the fault. Must not send messages — the
+    /// action is a pure state event, which keeps it scheduler-independent.
+    fn on_chaos(&mut self, _action: &ChaosAction, _now: u64) {}
+
+    /// A message from `src` to `dst` was dropped at its delivery time
+    /// instead of being handled. The default discards it silently; worlds
+    /// override to account lost bytes and arm recovery state.
+    fn on_dropped(
+        &mut self,
+        _src: usize,
+        _dst: usize,
+        _msg: Self::Msg,
+        _reason: DropReason,
+        _now: u64,
+    ) {
+    }
 }
 
 /// Which event queue a [`Sim`] runs on. Both produce bit-identical
@@ -64,8 +84,9 @@ pub enum Scheduler {
 pub struct SimCtx<'a, M> {
     now: u64,
     topo: &'a mut Topology,
-    // (arrival time, dst, msg); drained into the queue after the handler.
-    outbox: Vec<(u64, usize, M)>,
+    // (arrival time, src, dst, msg); drained into the queue after the
+    // handler. `src` == `dst` for timers.
+    outbox: Vec<(u64, usize, usize, M)>,
 }
 
 impl<'a, M> SimCtx<'a, M> {
@@ -78,20 +99,20 @@ impl<'a, M> SimCtx<'a, M> {
     /// delivery is charged transfer time and queues FIFO on the link.
     pub fn send(&mut self, from: usize, to: usize, bytes: u64, msg: M) {
         let at = self.topo.transfer(self.now, from, to, bytes);
-        self.outbox.push((at, to, msg));
+        self.outbox.push((at, from, to, msg));
     }
 
     /// As [`SimCtx::send`], but the transfer begins only after `delay` ns of
     /// local work (e.g. serialization) has elapsed.
     pub fn send_after(&mut self, delay: u64, from: usize, to: usize, bytes: u64, msg: M) {
         let at = self.topo.transfer(self.now + delay, from, to, bytes);
-        self.outbox.push((at, to, msg));
+        self.outbox.push((at, from, to, msg));
     }
 
     /// Deliver `msg` to `dst` after `delay` ns without touching any link
     /// (timers, local work completion).
     pub fn schedule(&mut self, delay: u64, dst: usize, msg: M) {
-        self.outbox.push((self.now + delay, dst, msg));
+        self.outbox.push((self.now + delay, dst, dst, msg));
     }
 
     /// Access the topology (e.g. to inspect link state in tests).
@@ -143,6 +164,11 @@ pub struct Sim<W: World> {
     /// sharded scheduler's per-shard event counts; the runaway guard names
     /// the hottest node from these).
     delivered_by: Vec<u64>,
+    /// Fault injection, if armed (see [`crate::chaos`]). `None` keeps the
+    /// hot path chaos-free: non-chaos runs are event-for-event identical
+    /// to a build without this field.
+    chaos: Option<ChaosState>,
+    dropped: u64,
 }
 
 impl<W: World> Sim<W> {
@@ -168,7 +194,27 @@ impl<W: World> Sim<W> {
             now: 0,
             seq: 0,
             delivered: 0,
+            chaos: None,
+            dropped: 0,
         }
+    }
+
+    /// Arm fault injection: compile `plan` against this topology. An
+    /// empty plan is not armed at all, so it cannot perturb the run.
+    pub fn set_chaos(&mut self, plan: &ChaosPlan) {
+        if !plan.is_empty() {
+            self.chaos = Some(plan.build(self.topo.len()));
+        }
+    }
+
+    /// Is fault injection armed on this simulator?
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Messages suppressed by the chaos layer so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The scheduler this simulator runs on.
@@ -193,16 +239,24 @@ impl<W: World> Sim<W> {
         self.delivered_by.get(dst).copied().unwrap_or(0)
     }
 
-    fn submit(&mut self, at: u64, dst: usize, msg: W::Msg) {
+    fn submit(&mut self, at: u64, src: usize, dst: usize, msg: W::Msg) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, dst, msg });
+        self.queue.push(Event {
+            at,
+            seq,
+            src,
+            dst,
+            msg,
+        });
     }
 
-    /// Inject a message at absolute time `at` (≥ now).
+    /// Inject a message at absolute time `at` (≥ now). Injected events are
+    /// local to their destination (src == dst): loss never eats them, but
+    /// a crashed destination does.
     pub fn inject(&mut self, at: u64, dst: usize, msg: W::Msg) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.submit(at, dst, msg);
+        self.submit(at, dst, dst, msg);
     }
 
     /// Deliver the next event; returns false when the queue is empty.
@@ -212,6 +266,26 @@ impl<W: World> Sim<W> {
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
+        if let Some(chaos) = &mut self.chaos {
+            // Apply every fault due by now, in schedule order, before the
+            // delivery at this instant — pure state events, identical
+            // under both schedulers because `now` advances identically.
+            while let Some(action) = chaos.pop_due(self.now) {
+                match action {
+                    ChaosAction::Partition { a, b } => self.topo.partition(a, b),
+                    ChaosAction::Heal { a, b } => self.topo.heal(a, b),
+                    ChaosAction::Crash { .. } | ChaosAction::Restart { .. } => {}
+                }
+                self.world.on_chaos(&action, self.now);
+            }
+            let cut = ev.src != ev.dst && self.topo.is_cut(ev.src, ev.dst);
+            if let Some(reason) = chaos.drop_reason(ev.src, ev.dst, cut) {
+                self.dropped += 1;
+                self.world
+                    .on_dropped(ev.src, ev.dst, ev.msg, reason, self.now);
+                return true;
+            }
+        }
         self.delivered += 1;
         if ev.dst >= self.delivered_by.len() {
             self.delivered_by.resize(ev.dst + 1, 0);
@@ -224,8 +298,8 @@ impl<W: World> Sim<W> {
         };
         self.world.on_message(ev.dst, ev.msg, &mut ctx);
         let outbox = ctx.outbox;
-        for (at, dst, msg) in outbox {
-            self.submit(at, dst, msg);
+        for (at, src, dst, msg) in outbox {
+            self.submit(at, src, dst, msg);
         }
         true
     }
@@ -420,6 +494,137 @@ mod tests {
         s.inject(1, 0, 0);
         s.inject(2, 1, 1);
         assert_eq!(s.run_to_idle(2), 2);
+    }
+
+    /// A world that logs deliveries, drops, and chaos actions — the
+    /// sim-level harness for the fault-injection contract.
+    struct ChaosLog {
+        delivered: Vec<(u64, usize, u32)>,
+        dropped: Vec<(usize, usize, u32, DropReason)>,
+        actions: Vec<(u64, ChaosAction)>,
+        relay: bool,
+    }
+
+    impl World for ChaosLog {
+        type Msg = u32;
+
+        fn on_message(&mut self, dst: usize, msg: u32, ctx: &mut SimCtx<'_, u32>) {
+            self.delivered.push((ctx.now(), dst, msg));
+            if self.relay && msg < 6 {
+                ctx.send(dst, (dst + 1) % 3, 100, msg + 1);
+            }
+        }
+
+        fn on_chaos(&mut self, action: &ChaosAction, now: u64) {
+            self.actions.push((now, *action));
+        }
+
+        fn on_dropped(&mut self, src: usize, dst: usize, msg: u32, reason: DropReason, _now: u64) {
+            self.dropped.push((src, dst, msg, reason));
+        }
+    }
+
+    fn chaos_sim(scheduler: Scheduler, plan: &ChaosPlan, relay: bool) -> Sim<ChaosLog> {
+        let mut s = Sim::with_scheduler(
+            ChaosLog {
+                delivered: Vec::new(),
+                dropped: Vec::new(),
+                actions: Vec::new(),
+                relay,
+            },
+            Topology::uniform(3, LinkSpec::new(1000, 8_000_000_000)),
+            scheduler,
+        );
+        s.set_chaos(plan);
+        s
+    }
+
+    #[test]
+    fn crashed_node_swallows_deliveries_until_restart() {
+        for scheduler in BOTH {
+            let plan = ChaosPlan::new().crash_at(100, 1).restart_at(300, 1);
+            let mut s = chaos_sim(scheduler, &plan, false);
+            s.inject(50, 1, 1); // before the crash: lands
+            s.inject(150, 1, 2); // while down: dropped
+            s.inject(150, 0, 3); // other nodes unaffected
+            s.inject(400, 1, 4); // after restart: lands
+            s.run_to_idle(100);
+            let msgs: Vec<u32> = s.world.delivered.iter().map(|&(_, _, m)| m).collect();
+            assert_eq!(msgs, vec![1, 3, 4], "{scheduler:?}");
+            assert_eq!(
+                s.world.dropped,
+                vec![(1, 1, 2, DropReason::NodeDown)],
+                "{scheduler:?}"
+            );
+            assert_eq!(s.dropped(), 1, "{scheduler:?}");
+            assert_eq!(
+                s.world.actions,
+                vec![
+                    (150, ChaosAction::Crash { node: 1 }),
+                    (400, ChaosAction::Restart { node: 1 }),
+                ],
+                "{scheduler:?}: actions fire when time first reaches them"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_cuts_the_relay_chain_until_heal() {
+        for scheduler in BOTH {
+            // The relay 0→1→2→0 starts at t=0; the 0↔1 cut at t=0 kills
+            // the first hop, so nothing past msg 0 is ever delivered.
+            let plan = ChaosPlan::new().partition_at(0, 0, 1);
+            let mut s = chaos_sim(scheduler, &plan, true);
+            s.inject(0, 0, 0);
+            s.run_to_idle(100);
+            assert_eq!(s.world.delivered.len(), 1, "{scheduler:?}");
+            assert_eq!(s.world.dropped.len(), 1, "{scheduler:?}");
+            assert_eq!(s.world.dropped[0].3, DropReason::Partitioned);
+
+            // Healed before the hop arrives: the full chain completes.
+            let plan = ChaosPlan::new().partition_at(0, 0, 1).heal_at(1, 0, 1);
+            let mut s = chaos_sim(scheduler, &plan, true);
+            s.inject(2, 0, 0);
+            s.run_to_idle(100);
+            assert_eq!(s.world.delivered.len(), 7, "{scheduler:?}: 0..=6 relayed");
+            assert!(s.world.dropped.is_empty(), "{scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_loss_is_scheduler_equivalent_and_seed_sensitive() {
+        let run = |scheduler, seed| {
+            let plan = ChaosPlan::new().seed(seed).loss_permille(400);
+            let mut s = chaos_sim(scheduler, &plan, true);
+            for i in 0..10 {
+                s.inject(i * 10, (i % 3) as usize, 0);
+            }
+            s.run_to_idle(1000);
+            let dropped = s.dropped();
+            (s.world.delivered, s.world.dropped, dropped)
+        };
+        let g = run(Scheduler::GlobalHeap, 9);
+        let sh = run(Scheduler::Sharded, 9);
+        assert_eq!(g, sh, "loss draws must not depend on the scheduler");
+        assert_eq!(sh, run(Scheduler::Sharded, 9), "same seed replays");
+        assert_ne!(sh, run(Scheduler::Sharded, 10), "different seed diverges");
+        assert!(sh.2 > 0, "40% loss over a relay fleet must drop something");
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let mut with = chaos_sim(Scheduler::Sharded, &ChaosPlan::new(), true);
+        assert!(!with.chaos_enabled(), "an empty plan must not arm chaos");
+        // `sim_on`'s Recorder relays msg < 3: same topology, so timelines
+        // must agree event for event on the shared prefix.
+        let mut without = sim_on(Scheduler::Sharded, true);
+        with.inject(0, 0, 0);
+        without.inject(0, 0, 0);
+        with.run_to_idle(100);
+        without.run_to_idle(100);
+        assert_eq!(&with.world.delivered[..4], &without.world.log[..]);
+        assert_eq!(with.dropped(), 0);
+        assert!(with.world.dropped.is_empty());
     }
 
     #[test]

@@ -20,10 +20,13 @@ use super::horizon::{open_window, Window};
 /// the invariant the differential-equivalence suite pins.
 pub(crate) type EventKey = (u64, u64, usize);
 
-/// One pending message delivery.
+/// One pending message delivery. `src` records the sending node (equal
+/// to `dst` for timers and injected events); it is carried for the chaos
+/// layer's partition/loss checks and takes no part in the ordering key.
 pub(crate) struct Event<M> {
     pub at: u64,
     pub seq: u64,
+    pub src: usize,
     pub dst: usize,
     pub msg: M,
 }
@@ -160,6 +163,7 @@ mod tests {
         Event {
             at,
             seq,
+            src: dst,
             dst,
             msg: 0,
         }

@@ -1,18 +1,22 @@
 //! Cluster topologies: a set of nodes and the directed links between them.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::link::{Link, LinkSpec};
 
 /// Directed links between `n` nodes. Links are created lazily from a
 /// default spec; individual pairs can be overridden (e.g. one Wi-Fi device
-/// in an otherwise Gigabit cluster).
+/// in an otherwise Gigabit cluster). Pairs may additionally be *cut*
+/// (partitioned) at runtime by the chaos layer: a cut pair still accepts
+/// transfers — senders cannot observe the partition — but the simulator
+/// drops the delivery at arrival time.
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
     default_spec: LinkSpec,
     overrides: HashMap<(usize, usize), LinkSpec>,
     links: HashMap<(usize, usize), Link>,
+    cut: HashSet<(usize, usize)>,
 }
 
 impl Topology {
@@ -23,6 +27,7 @@ impl Topology {
             default_spec,
             overrides: HashMap::new(),
             links: HashMap::new(),
+            cut: HashSet::new(),
         }
     }
 
@@ -75,6 +80,24 @@ impl Topology {
         self.link_mut(from, to).transfer(now, bytes)
     }
 
+    /// Cut both directions between `a` and `b`: deliveries over the pair
+    /// are dropped (at arrival) until [`Topology::heal`] undoes the cut.
+    pub fn partition(&mut self, a: usize, b: usize) {
+        self.cut.insert((a, b));
+        self.cut.insert((b, a));
+    }
+
+    /// Undo a [`Topology::partition`] between `a` and `b`.
+    pub fn heal(&mut self, a: usize, b: usize) {
+        self.cut.remove(&(a, b));
+        self.cut.remove(&(b, a));
+    }
+
+    /// Is the directed `from → to` pair currently partitioned?
+    pub fn is_cut(&self, from: usize, to: usize) -> bool {
+        self.cut.contains(&(from, to))
+    }
+
     /// Total bytes carried across all links (conservation checks).
     pub fn total_bytes_carried(&self) -> u64 {
         self.links.values().map(|l| l.bytes_carried).sum()
@@ -122,6 +145,22 @@ mod tests {
         assert_eq!(a, b); // same spec, no shared queueing
         let a2 = t.transfer(0, 0, 1, 1_000_000);
         assert!(a2 > a); // same direction queues
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_and_heal() {
+        let mut t = Topology::gigabit_cluster(3);
+        assert!(!t.is_cut(0, 1));
+        t.partition(0, 1);
+        assert!(t.is_cut(0, 1));
+        assert!(t.is_cut(1, 0));
+        assert!(!t.is_cut(0, 2));
+        // Senders cannot observe the cut: transfers still book time.
+        let at = t.transfer(0, 0, 1, 1000);
+        assert!(at > 0);
+        t.heal(0, 1);
+        assert!(!t.is_cut(0, 1));
+        assert!(!t.is_cut(1, 0));
     }
 
     #[test]

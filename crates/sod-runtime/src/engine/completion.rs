@@ -78,7 +78,9 @@ impl Cluster {
         delay: u64,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
-        let w = self.sessions.get_mut(&sid).unwrap();
+        let Some(w) = self.sessions.get_mut(&sid) else {
+            return;
+        };
         w.phase = WorkerPhase::Done;
         let (program, node, target, pop) = (w.program, w.node, w.return_to, w.home_pop_frames);
         let dest = match target {
@@ -100,10 +102,12 @@ impl Cluster {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn segment_return(
         &mut self,
         node: usize,
         program: ProgramId,
+        session: SessionId,
         target: ReturnTarget,
         retval: Option<CapturedValue>,
         pop_frames: usize,
@@ -112,7 +116,22 @@ impl Cluster {
         match target {
             ReturnTarget::Home { node: home } => {
                 debug_assert_eq!(node, home);
-                self.programs[program as usize].side = HomeSide::Idle;
+                if self.chaos_enabled {
+                    let p = &self.programs[program as usize];
+                    if p.done || !p.valid_sessions.contains(&session) {
+                        // Stale return: the program failed (home crash) or
+                        // the episode was superseded by a deadline-driven
+                        // retry/fallback before this value arrived. The
+                        // home stack no longer expects it — drop it.
+                        return;
+                    }
+                }
+                {
+                    let p = &mut self.programs[program as usize];
+                    p.side = HomeSide::Idle;
+                    p.valid_sessions.clear();
+                    p.shipped.clear();
+                }
                 let tid = self.programs[program as usize].home_tid;
                 let val = retval.map(|cv| match cv {
                     CapturedValue::Int(i) => Value::Int(i),

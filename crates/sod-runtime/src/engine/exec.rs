@@ -32,6 +32,9 @@ impl Cluster {
         let (owner_program, owner_pending) = match self.thread_owner.get(&(node, tid)) {
             Some(Owner::Root(p)) => {
                 let program = *p;
+                if self.programs[program as usize].done {
+                    return; // failed while a slice was in flight (crash)
+                }
                 if self.programs[program as usize].side.is_frozen() {
                     return; // frozen while the segment executes remotely
                 }
@@ -87,8 +90,16 @@ impl Cluster {
                 self.host_call(node, tid, &name, &args, elapsed, ctx)
             }
             StepOutcome::ObjectFault(q) => {
-                let sid = self.worker_of(node, tid);
-                let w = &self.sessions[&sid];
+                // Only restored workers fault on remote objects; a thread
+                // orphaned mid-slice (its session killed by fault
+                // injection) has nobody to fetch for.
+                let sid = match self.thread_owner.get(&(node, tid)) {
+                    Some(Owner::Worker(s)) => *s,
+                    _ => return,
+                };
+                let Some(w) = self.sessions.get(&sid) else {
+                    return;
+                };
                 let home = w.home;
                 ctx.send_after(
                     elapsed,
@@ -421,7 +432,9 @@ impl Cluster {
                     },
                 );
             }
-            None => panic!("class miss on unowned thread"),
+            // An orphaned thread (session killed under fault injection)
+            // has nobody to load for; leave it parked.
+            None => {}
         }
     }
 
@@ -489,10 +502,10 @@ impl Cluster {
                 format!("unhandled {:?}: {}", e.kind, e.message),
                 ctx.now() + elapsed,
             );
-        } else {
+        } else if let Some(Owner::Worker(s)) = self.thread_owner.get(&(node, tid)) {
             // Retire the session along with the program, so stale events
             // addressed to it cannot wake the dead worker state.
-            let sid = self.worker_of(node, tid);
+            let sid = *s;
             self.fail_session(
                 sid,
                 format!("worker fault {:?}: {}", e.kind, e.message),

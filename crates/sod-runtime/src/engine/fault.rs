@@ -1,0 +1,226 @@
+//! Fault handling: applying chaos actions to cluster state, accounting
+//! for dropped messages, and the home-side migration deadline with its
+//! retry / fallback recovery.
+//!
+//! The chaos layer lives in `sod-net` (see [`sod_net::ChaosPlan`]): the
+//! simulator applies partitions to the topology and suppresses deliveries;
+//! this module is the *engine's* reaction. Three hooks arrive here:
+//!
+//! * [`Cluster::apply_chaos`] — a scheduled action fired. A crash fails
+//!   every program homed on the node (typed error, never an abort) and
+//!   retires every worker session hosted there; the node's repo and heap
+//!   survive (warm restart), so a later [`sod_net::ChaosAction::Restart`]
+//!   only marks it reachable again.
+//! * [`Cluster::note_dropped`] — a delivery was suppressed. Payload bytes
+//!   whose accounting is receive-side (shipped state, object replies) are
+//!   credited to the sender's `net_lost` bucket so the conservation
+//!   identity `sent = accounted + lost` keeps holding per category.
+//! * [`Cluster::migration_timeout`] — the end-to-end deadline armed at
+//!   `CaptureDone` fired while the home side is still frozen. Whatever
+//!   broke (state, class reply, chained return, flush ack, or the whole
+//!   destination), the recovery is the same: kill the episode's sessions
+//!   and either re-ship the retained capture under fresh session ids
+//!   ([`RetryPolicy::Retry`]) or thaw the home stack and resume locally
+//!   ([`RetryPolicy::FallbackToHome`] — sound because capture leaves the
+//!   home frames intact; the migrated portion simply re-executes, giving
+//!   at-least-once semantics).
+//!
+//! Deadlines are armed only when chaos is enabled, so fault-free runs stay
+//! event-for-event identical to a build without this module.
+
+use sod_net::{ChaosAction, DropReason, SimCtx};
+
+use crate::msg::{Msg, ProgramId, ReturnTarget, SessionId};
+
+use super::session::{HomeSide, StagedSegment, WorkerPhase};
+use super::Cluster;
+
+/// Default end-to-end migration deadline under fault injection (see
+/// [`Cluster::migration_timeout_ns`]): generous against ordinary shipping
+/// and restore latencies, so it only fires when something was lost.
+pub const DEFAULT_MIGRATION_TIMEOUT_NS: u64 = 50_000_000; // 50 ms
+
+/// What the home side does when an outstanding migration misses its
+/// deadline (a message of the episode — state, class reply, chained
+/// return, or flush ack — was lost, or the destination crashed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Re-ship the retained capture under fresh session ids, counting the
+    /// initial shipment: after `max_attempts` total attempts the episode
+    /// falls back to home anyway. Stale sessions of superseded attempts
+    /// are killed and their late messages ignored.
+    Retry { max_attempts: u32 },
+    /// Abandon the remote episode and resume on the home stack. Capture
+    /// leaves the home frames intact, so resumption re-executes the
+    /// migrated portion locally — at-least-once execution semantics.
+    #[default]
+    FallbackToHome,
+}
+
+impl Cluster {
+    /// A scheduled chaos action fired (called from the simulator's
+    /// `World::on_chaos` hook — a pure state event, no messages may be
+    /// sent from here).
+    pub(super) fn apply_chaos(&mut self, action: &ChaosAction, now: u64) {
+        match *action {
+            ChaosAction::Crash { node } => {
+                self.chaos.crashes += 1;
+                // Programs homed here lose their root thread and heap
+                // master copies: a typed failure, recorded like any other.
+                let failed: Vec<ProgramId> = self
+                    .programs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.done && p.home == node)
+                    .map(|(i, _)| i as ProgramId)
+                    .collect();
+                for program in failed {
+                    self.fail_program(program, format!("home node {node} crashed"), now);
+                }
+                // Worker sessions hosted here die with the node. Their
+                // programs are NOT failed here: the home-side migration
+                // deadline recovers them (retry or fallback). Kill order
+                // is irrelevant — killing only mutates per-session state.
+                let dead: Vec<SessionId> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, w)| w.node == node && !matches!(w.phase, WorkerPhase::Done))
+                    .map(|(sid, _)| *sid)
+                    .collect();
+                for sid in dead {
+                    self.kill_session(sid);
+                }
+                // Parked accept state dies with the serving threads; a
+                // request delivered after restart must not resume one.
+                self.nodes[node].sock_queue.clear();
+                self.nodes[node].sock_waiters.clear();
+            }
+            ChaosAction::Restart { .. } => self.chaos.restarts += 1,
+            ChaosAction::Partition { .. } => self.chaos.partitions += 1,
+            ChaosAction::Heal { .. } => self.chaos.heals += 1,
+        }
+    }
+
+    /// A delivery was suppressed by the chaos layer. Only categories whose
+    /// byte accounting completes at the *receiver* need a lost credit:
+    /// shipped state (accounted when the destination restores) and object
+    /// replies (accounted on arrival). Class and flush bytes are fully
+    /// accounted at send time, so dropping them cannot unbalance the
+    /// books and `lost.class` stays zero by construction.
+    pub(super) fn note_dropped(
+        &mut self,
+        src: usize,
+        _dst: usize,
+        msg: Msg,
+        _reason: DropReason,
+        _now: u64,
+    ) {
+        self.chaos.dropped_msgs += 1;
+        match msg {
+            Msg::State { state_bytes, .. } => {
+                self.nodes[src].net_lost.state += state_bytes;
+            }
+            Msg::ObjectReply {
+                object, prefetched, ..
+            } => {
+                let bytes: u64 =
+                    object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+                self.nodes[src].net_lost.object += bytes;
+            }
+            _ => {}
+        }
+    }
+
+    /// The end-to-end migration deadline fired at the home node. Stale
+    /// timers (episode completed, failed, or already superseded by a
+    /// retry) are ignored via the attempt stamp.
+    pub(super) fn migration_timeout(
+        &mut self,
+        node: usize,
+        program: ProgramId,
+        attempt: u32,
+        ctx: &mut SimCtx<'_, Msg>,
+    ) {
+        {
+            let p = &self.programs[program as usize];
+            if p.done || p.attempt != attempt || !p.side.is_frozen() {
+                return;
+            }
+            debug_assert_eq!(p.home, node);
+        }
+        self.chaos.timeouts += 1;
+        // Kill the episode's sessions first: whichever of them were alive,
+        // their threads must never complete against the recovered program,
+        // and their unrecorded state bytes surface in the lost sweep.
+        for sid in self.programs[program as usize].valid_sessions.clone() {
+            self.kill_session(sid);
+        }
+        let attempts_done = self.programs[program as usize].episode_attempts;
+        let retry = match self.retry_policy {
+            RetryPolicy::Retry { max_attempts } => attempts_done < max_attempts,
+            RetryPolicy::FallbackToHome => false,
+        };
+        if retry {
+            self.chaos.retries += 1;
+            self.reship(node, program, ctx);
+        } else {
+            self.chaos.fallbacks += 1;
+            let p = &mut self.programs[program as usize];
+            p.side = HomeSide::Idle;
+            p.valid_sessions.clear();
+            p.shipped.clear();
+            let tid = p.home_tid;
+            // The home stack still holds every captured frame; thaw the
+            // thread at its migration-safe point and run on.
+            if let Ok(t) = self.nodes[node].vm.thread_mut(tid) {
+                t.state = sod_vm::interp::ThreadState::Runnable;
+            }
+            ctx.schedule(0, node, Msg::RunSlice { tid });
+        }
+    }
+
+    /// Re-ship the retained capture under fresh session ids, re-chained
+    /// exactly like the original shipment, and arm a new deadline.
+    fn reship(&mut self, home: usize, program: ProgramId, ctx: &mut SimCtx<'_, Msg>) {
+        let segs: Vec<StagedSegment> = self.programs[program as usize].shipped.clone();
+        let dests: Vec<usize> = segs.iter().map(|s| s.dest).collect();
+        let sids: Vec<SessionId> = segs.iter().map(|_| self.alloc_session()).collect();
+        let attempt = {
+            let p = &mut self.programs[program as usize];
+            p.attempt += 1;
+            p.episode_attempts += 1;
+            p.valid_sessions = sids.clone();
+            p.attempt
+        };
+        let n = segs.len();
+        for (i, mut seg) in segs.into_iter().enumerate() {
+            seg.info.session = sids[i];
+            seg.info.return_to = if i + 1 < n {
+                ReturnTarget::Session {
+                    node: dests[i + 1],
+                    session: sids[i + 1],
+                }
+            } else {
+                ReturnTarget::Home { node: home }
+            };
+            self.ship_segment(home, 0, seg, ctx);
+        }
+        ctx.schedule(
+            self.migration_timeout_ns,
+            home,
+            Msg::MigrationTimeout { program, attempt },
+        );
+    }
+
+    /// Retire a worker session: mark it done and orphan its VM thread so
+    /// no stale event (run slice, class reply, chained return) can wake
+    /// it. The thread's frames stay parked — memory, not behavior.
+    fn kill_session(&mut self, sid: SessionId) {
+        let Some(w) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        w.phase = WorkerPhase::Done;
+        let key = (w.node, w.tid);
+        self.thread_owner.remove(&key);
+    }
+}

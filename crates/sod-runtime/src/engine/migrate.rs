@@ -42,7 +42,9 @@ impl Cluster {
                 let sid = *s;
                 self.begin_roam(node, tid, sid, elapsed, ctx);
             }
-            None => panic!("MSP stop for unowned thread"),
+            // An orphaned thread (session killed under fault injection)
+            // stopping at an MSP has no plan to serve; leave it parked.
+            None => {}
         }
     }
 
@@ -163,14 +165,34 @@ impl Cluster {
             });
         }
 
+        self.programs[program as usize].valid_sessions = sids;
         self.programs[program as usize].side = HomeSide::Frozen;
         ctx.schedule(elapsed + capture_ns, node, Msg::CaptureDone { program });
     }
 
-    /// Freeze complete: ship every staged segment concurrently.
+    /// Freeze complete: ship every staged segment concurrently. Under
+    /// fault injection this is also where the episode's end-to-end
+    /// deadline is armed (and, under a retry policy, where the shipment
+    /// is retained for deadline-driven re-ships) — chaos-free runs stay
+    /// event-for-event identical.
     pub(super) fn capture_done(&mut self, program: ProgramId, ctx: &mut SimCtx<'_, Msg>) {
         let home = self.programs[program as usize].home;
         let staged = std::mem::take(&mut self.programs[program as usize].staged);
+        if self.chaos_enabled && !staged.is_empty() {
+            let retain = matches!(self.retry_policy, super::RetryPolicy::Retry { .. });
+            let p = &mut self.programs[program as usize];
+            p.attempt += 1;
+            p.episode_attempts = 1;
+            if retain {
+                p.shipped = staged.clone();
+            }
+            let attempt = p.attempt;
+            ctx.schedule(
+                self.migration_timeout_ns,
+                home,
+                Msg::MigrationTimeout { program, attempt },
+            );
+        }
         for seg in staged {
             self.ship_segment(home, 0, seg, ctx);
         }
@@ -181,7 +203,7 @@ impl Cluster {
     /// counter the conservation suite pins is updated here, so home
     /// shipping and roaming hops cannot diverge. (Peer-cache crediting
     /// lives in [`Cluster::bundle_for`], at selection time.)
-    fn ship_segment(
+    pub(super) fn ship_segment(
         &mut self,
         sender: usize,
         delay: u64,
@@ -447,9 +469,18 @@ impl Cluster {
             home_pop_frames,
             wait_for_return: false,
         };
-        // Retire the old session & thread.
+        // Retire the old session & thread. The roamed session inherits
+        // the old one's slot in the episode's valid set, so its arrival
+        // and eventual home return pass the chaos staleness guards.
         self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::Done;
         self.thread_owner.remove(&(node, tid));
+        if let Some(slot) = self.programs[program as usize]
+            .valid_sessions
+            .iter_mut()
+            .find(|s| **s == sid)
+        {
+            *slot = new_sid;
+        }
 
         self.ship_segment(
             node,

@@ -58,17 +58,20 @@
 
 mod completion;
 mod exec;
+mod fault;
 mod migrate;
 mod objects;
 mod restore;
 mod session;
 
+pub use fault::{RetryPolicy, DEFAULT_MIGRATION_TIMEOUT_NS};
+
 use std::collections::HashMap;
 
-use sod_net::{Scheduler, Sim, SimCtx, Topology, World};
+use sod_net::{ChaosPlan, Scheduler, Sim, SimCtx, Topology, World};
 use sod_vm::value::{ObjId, Value};
 
-use crate::metrics::{ClusterReport, NodeUtilization, RunReport};
+use crate::metrics::{ChaosCounters, ClusterReport, NetBytes, NodeUtilization, RunReport};
 use crate::msg::{HostReply, MigrationPlan, Msg, ProgramId, SessionId};
 use crate::node::Node;
 use crate::trigger::{ArmedTrigger, Trigger};
@@ -143,6 +146,21 @@ pub struct Program {
     /// Home-side migration state machine (idle / plan pending / frozen).
     side: HomeSide,
     staged: Vec<StagedSegment>,
+    /// Monotonic shipping-attempt stamp: bumped whenever segments leave
+    /// home (initial shipment or re-ship), matched against
+    /// [`Msg::MigrationTimeout`] so superseded deadlines are inert.
+    attempt: u32,
+    /// Shipping attempts of the *current* episode (reset at capture),
+    /// bounded by [`RetryPolicy::Retry`]'s `max_attempts`.
+    episode_attempts: u32,
+    /// Session ids of the outstanding episode (roams replace their entry).
+    /// Under chaos, state arrivals and home returns from sessions not in
+    /// this set are stale — superseded by a retry or fallback — and drop.
+    valid_sessions: Vec<SessionId>,
+    /// Retained copy of the shipped segments, kept only under
+    /// [`RetryPolicy::Retry`] with chaos enabled, so a deadline can
+    /// re-ship without re-capturing (the home frames never re-freeze).
+    shipped: Vec<StagedSegment>,
 }
 
 /// The cluster: all nodes plus global program/session bookkeeping.
@@ -161,6 +179,17 @@ pub struct Cluster {
     /// every migration, and rescanning every method body each time would
     /// put an O(code size) pass on the migration hot path.
     class_refs: HashMap<String, Vec<String>>,
+    /// Whether a fault-injection plan is armed on the driving simulator.
+    /// Gates every chaos-only code path (deadline timers, stale-message
+    /// guards), so fault-free runs are event-for-event identical to the
+    /// pre-chaos engine.
+    pub chaos_enabled: bool,
+    /// Recovery policy when a migration misses its deadline (chaos only).
+    pub retry_policy: RetryPolicy,
+    /// End-to-end deadline armed per shipping attempt (chaos only).
+    pub migration_timeout_ns: u64,
+    /// Fault-injection tallies, surfaced on the [`ClusterReport`].
+    chaos: ChaosCounters,
 }
 
 impl Cluster {
@@ -174,6 +203,10 @@ impl Cluster {
             slice_ns: DEFAULT_SLICE_NS,
             code_shipping: CodeShipping::default(),
             class_refs: HashMap::new(),
+            chaos_enabled: false,
+            retry_policy: RetryPolicy::default(),
+            migration_timeout_ns: DEFAULT_MIGRATION_TIMEOUT_NS,
+            chaos: ChaosCounters::default(),
         }
     }
 
@@ -199,6 +232,10 @@ impl Cluster {
             slices_run: 0,
             side: HomeSide::Idle,
             staged: Vec::new(),
+            attempt: 0,
+            episode_attempts: 0,
+            valid_sessions: Vec::new(),
+            shipped: Vec::new(),
         });
         (self.programs.len() - 1) as ProgramId
     }
@@ -275,25 +312,44 @@ impl Cluster {
                 latencies.push(p.report.latency_ns());
             }
         }
+        // Shipped state that arrived somewhere but never restored —
+        // killed, superseded, or stuck sessions — is accounted nowhere
+        // else; credit it to the holding node's lost bucket so the
+        // conservation identity `sent = accounted + lost` closes. (The
+        // sum over the session map is order-independent.)
+        let mut stranded = vec![0u64; self.nodes.len()];
+        for w in self.sessions.values() {
+            if !w.recorded {
+                stranded[w.node] += w.timings.state_bytes;
+            }
+        }
         let per_node = self
             .nodes
             .iter()
-            .map(|n| NodeUtilization {
+            .enumerate()
+            .map(|(i, n)| NodeUtilization {
                 name: n.cfg.name.clone(),
                 instructions: n.vm.instr_count,
                 slices: n.slices,
                 busy_ns: n.busy_ns,
                 events: n.events,
                 sent: n.net_sent,
+                lost: NetBytes {
+                    state: n.net_lost.state + stranded[i],
+                    class: n.net_lost.class,
+                    object: n.net_lost.object,
+                },
             })
             .collect();
-        ClusterReport::aggregate(
+        let mut report = ClusterReport::aggregate(
             self.programs.len() as u64,
             latencies,
             failed,
             makespan,
             per_node,
-        )
+        );
+        report.chaos = self.chaos;
+        report
     }
 }
 
@@ -335,6 +391,9 @@ impl World for Cluster {
                 ctx.schedule(0, dst, Msg::RunSlice { tid });
             }
             Msg::CaptureDone { program } => self.capture_done(program, ctx),
+            Msg::MigrationTimeout { program, attempt } => {
+                self.migration_timeout(dst, program, attempt, ctx)
+            }
             Msg::State {
                 info,
                 state,
@@ -383,11 +442,11 @@ impl World for Cluster {
             Msg::FlushAck { session, assigned } => self.flush_ack(dst, session, assigned, ctx),
             Msg::SegmentReturn {
                 program,
-                session: _,
+                session,
                 target,
                 retval,
                 pop_frames,
-            } => self.segment_return(dst, program, target, retval, pop_frames, ctx),
+            } => self.segment_return(dst, program, session, target, retval, pop_frames, ctx),
             Msg::FsRead {
                 requester,
                 tid,
@@ -415,6 +474,21 @@ impl World for Cluster {
                 }
             }
         }
+    }
+
+    fn on_chaos(&mut self, action: &sod_net::ChaosAction, now: u64) {
+        self.apply_chaos(action, now);
+    }
+
+    fn on_dropped(
+        &mut self,
+        src: usize,
+        dst: usize,
+        msg: Msg,
+        reason: sod_net::DropReason,
+        now: u64,
+    ) {
+        self.note_dropped(src, dst, msg, reason, now);
     }
 }
 
@@ -468,6 +542,29 @@ impl SodSim {
     /// Arm a policy trigger on a registered program (see [`crate::trigger`]).
     pub fn arm_trigger(&mut self, program: ProgramId, trigger: ArmedTrigger) {
         self.sim.world.arm_trigger(program, trigger);
+    }
+
+    /// Arm a fault-injection plan — scheduled crashes/partitions plus
+    /// seeded per-link loss — and the engine's recovery machinery
+    /// (migration deadlines, stale-message guards, lost-byte accounting).
+    /// An empty plan is a no-op, keeping the run event-for-event identical
+    /// to a chaos-free one.
+    pub fn set_chaos(&mut self, plan: &ChaosPlan) {
+        if !plan.is_empty() {
+            self.sim.world.chaos_enabled = true;
+        }
+        self.sim.set_chaos(plan);
+    }
+
+    /// Recovery policy for migrations that miss their deadline (only
+    /// meaningful once [`SodSim::set_chaos`] armed a plan).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.sim.world.retry_policy = policy;
+    }
+
+    /// Override the end-to-end migration deadline (chaos runs only).
+    pub fn set_migration_timeout(&mut self, ns: u64) {
+        self.sim.world.migration_timeout_ns = ns;
     }
 
     /// Inject a client request into a photo-server node.

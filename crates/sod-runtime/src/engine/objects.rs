@@ -64,10 +64,27 @@ impl Cluster {
         prefetched: Vec<WireObject>,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
-        let tid = self.sessions[&sid].tid;
-        let program = self.sessions[&sid].program;
         let bytes: u64 =
             object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let Some(w) = self.sessions.get(&sid) else {
+            // No session ever lived here (arrival raced a retirement that
+            // also dropped the map entry): nothing to resume, and nobody's
+            // report will account the bytes — credit them as lost.
+            self.nodes[node].net_lost.object += bytes;
+            return;
+        };
+        let tid = w.tid;
+        let program = w.program;
+        if matches!(w.phase, WorkerPhase::Done) || tid == usize::MAX {
+            // Session retired (killed by a crash or a superseding retry)
+            // while the reply was in flight. The bytes still arrived on
+            // this program's behalf; account them on its report so the
+            // object ledger stays balanced, but leave the dead thread be.
+            let p = &mut self.programs[program as usize];
+            p.report.object_faults += 1;
+            p.report.object_bytes += bytes;
+            return;
+        }
         let local = install_object(&mut self.nodes[node].vm.heap, &object).expect("install");
         for p in &prefetched {
             install_object(&mut self.nodes[node].vm.heap, p).expect("install prefetch");

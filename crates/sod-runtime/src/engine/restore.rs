@@ -39,6 +39,16 @@ impl Cluster {
         ctx: &mut SimCtx<'_, Msg>,
     ) {
         let arrived = ctx.now();
+        if self.chaos_enabled {
+            let p = &self.programs[info.program as usize];
+            if p.done || !p.valid_sessions.contains(&info.session) {
+                // Superseded in flight (the home already failed, retried,
+                // or fell back): this state will never restore. Credit it
+                // where it landed so conservation closes.
+                self.nodes[node].net_lost.state += state_bytes;
+                return;
+            }
+        }
         let window = arrived.saturating_sub(sent_at);
         let (transfer_state_ns, transfer_class_ns) =
             split_transfer_window(window, state_bytes, class_bytes);
@@ -66,6 +76,8 @@ impl Cluster {
                         format!("bundled class {:?} failed to load: {e:?}", c.name),
                         arrived,
                     );
+                    // No session was created: the shipped state dies here.
+                    self.nodes[node].net_lost.state += state_bytes;
                     return;
                 }
             }
@@ -103,6 +115,7 @@ impl Cluster {
             arrived_at: arrived,
             class_wait_ns: 0,
             pending_roam: None,
+            recorded: false,
         };
         self.sessions.insert(sid, session);
 
@@ -245,6 +258,7 @@ impl Cluster {
             w.timings.restore_ns = (ctx.now() + cost)
                 .saturating_sub(arrived)
                 .saturating_sub(class_wait);
+            w.recorded = true;
             let timings = w.timings;
             let program = w.program;
             if wait {
@@ -333,6 +347,7 @@ impl Cluster {
             .saturating_sub(arrived)
             .saturating_sub(class_wait);
         w.phase = WorkerPhase::Running;
+        w.recorded = true;
         let timings = w.timings;
         let program = w.program;
         self.programs[program as usize]

@@ -58,7 +58,10 @@ impl HomeSide {
 }
 
 /// A captured segment staged at the home node, waiting for the freeze
-/// timer ([`crate::msg::Msg::CaptureDone`]) before shipping.
+/// timer ([`crate::msg::Msg::CaptureDone`]) before shipping. `Clone` so a
+/// chaos-enabled run can retain the shipment for deadline-driven re-ships
+/// (see [`crate::engine::RetryPolicy::Retry`]).
+#[derive(Clone)]
 pub(super) struct StagedSegment {
     pub(super) dest: usize,
     pub(super) info: SegmentInfo,
@@ -114,6 +117,12 @@ pub(super) struct WorkerSession {
     /// from restore time, like the paper's transfer accounting).
     pub(super) class_wait_ns: u64,
     pub(super) pending_roam: Option<usize>,
+    /// Whether this session's [`MigrationTimings`] reached the program
+    /// report (set when restore completes). A session that dies first —
+    /// crash, supersession, stuck restore — still holds shipped state
+    /// bytes nothing accounted for; the report-time sweep credits them to
+    /// the destination's lost bucket so conservation holds under chaos.
+    pub(super) recorded: bool,
 }
 
 /// Who owns a VM thread on a node.

@@ -102,11 +102,12 @@ pub mod msg;
 pub mod node;
 pub mod trigger;
 
-pub use engine::{Cluster, CodeShipping, FetchPolicy, SodSim};
+pub use engine::{Cluster, CodeShipping, FetchPolicy, RetryPolicy, SodSim};
 pub use metrics::{
-    percentile_nearest_rank, ClusterReport, MigrationTimings, NetBytes, NodeUtilization, RunReport,
+    percentile_nearest_rank, ChaosCounters, ClusterReport, MigrationTimings, NetBytes,
+    NodeUtilization, RunReport,
 };
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};
-pub use sod_net::Scheduler;
+pub use sod_net::{ChaosAction, ChaosPlan, DropReason, Scheduler};
 pub use trigger::{ArmedTrigger, Trigger};

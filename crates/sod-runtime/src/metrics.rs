@@ -115,6 +115,39 @@ impl NetBytes {
     }
 }
 
+/// Fault-injection tallies for one run (all zero when chaos is off).
+///
+/// Surfaced on [`ClusterReport`] so chaos runs compare with `==` like any
+/// other report — the determinism suites pin the counters too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Node crashes applied.
+    pub crashes: u64,
+    /// Node restarts applied.
+    pub restarts: u64,
+    /// Link partitions applied.
+    pub partitions: u64,
+    /// Partition heals applied.
+    pub heals: u64,
+    /// Messages dropped at delivery (crash, partition, or seeded loss).
+    pub dropped_msgs: u64,
+    /// Home-side migration deadlines that fired on a still-outstanding
+    /// migration.
+    pub timeouts: u64,
+    /// Migration re-ship attempts under
+    /// [`crate::engine::RetryPolicy::Retry`].
+    pub retries: u64,
+    /// Migrations abandoned to resume on the home stack.
+    pub fallbacks: u64,
+}
+
+impl ChaosCounters {
+    /// True when no fault was injected or handled.
+    pub fn is_quiet(&self) -> bool {
+        *self == ChaosCounters::default()
+    }
+}
+
 /// Work done by one node over a whole fleet run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeUtilization {
@@ -134,6 +167,12 @@ pub struct NodeUtilization {
     /// Outbound network payload bytes, broken out as state/class/object
     /// (makes code-cache savings visible in every report).
     pub sent: NetBytes,
+    /// Bytes that left a node but never materialized at a receiver:
+    /// payloads of dropped messages (credited to the sender) plus shipped
+    /// state that arrived but was never restored (stranded sessions,
+    /// credited to the destination holding it). Keeps the conservation
+    /// identity `sent = accounted + lost` under fault injection.
+    pub lost: NetBytes,
 }
 
 /// Aggregate outcome of a multi-program (fleet) run.
@@ -169,6 +208,8 @@ pub struct ClusterReport {
     pub throughput_millirps: u64,
     /// Per-node work, in node-declaration order.
     pub per_node: Vec<NodeUtilization>,
+    /// Fault-injection tallies (all zero when chaos is off).
+    pub chaos: ChaosCounters,
 }
 
 impl ClusterReport {
@@ -201,6 +242,7 @@ impl ClusterReport {
                 .checked_div(makespan_ns)
                 .unwrap_or(0),
             per_node,
+            chaos: ChaosCounters::default(),
         }
     }
 
@@ -213,6 +255,21 @@ impl ClusterReport {
                 state: acc.state + n.sent.state,
                 class: acc.class + n.sent.class,
                 object: acc.object + n.sent.object,
+            })
+    }
+
+    /// Cluster-wide lost bytes: the per-node [`NodeUtilization::lost`]
+    /// categories summed across all nodes. Under fault injection the
+    /// conservation identity is `total_sent = accounted + total_lost` per
+    /// category (e.g. state: `sent.state = Σ migrations.state_bytes +
+    /// lost.state`).
+    pub fn total_lost(&self) -> NetBytes {
+        self.per_node
+            .iter()
+            .fold(NetBytes::default(), |acc, n| NetBytes {
+                state: acc.state + n.lost.state,
+                class: acc.class + n.lost.class,
+                object: acc.object + n.lost.object,
             })
     }
 }
@@ -271,6 +328,11 @@ mod tests {
                         class: 20,
                         object: 3,
                     },
+                    lost: NetBytes {
+                        state: 9,
+                        class: 0,
+                        object: 1,
+                    },
                 },
                 NodeUtilization {
                     name: "n1".into(),
@@ -301,6 +363,15 @@ mod tests {
                 object: 7,
             }
         );
+        assert_eq!(
+            r.total_lost(),
+            NetBytes {
+                state: 9,
+                class: 0,
+                object: 1,
+            }
+        );
+        assert!(r.chaos.is_quiet(), "aggregate starts with quiet counters");
         // Empty fleets aggregate to zeros, not a division panic.
         let empty = ClusterReport::aggregate(0, vec![], 0, 0, vec![]);
         assert_eq!(empty.completed, 0);

@@ -134,6 +134,10 @@ pub enum Msg {
     CaptureDone { program: ProgramId },
     /// All classes for a shipped segment are present; re-establish frames.
     BeginRestore { session: SessionId },
+    /// Home-side end-to-end deadline for an outstanding migration episode
+    /// (armed only under fault injection). `attempt` matches the program's
+    /// shipping attempt so timers from superseded episodes are ignored.
+    MigrationTimeout { program: ProgramId, attempt: u32 },
 
     // -- migration protocol -----------------------------------------------------
     /// A captured segment arriving at its destination.

@@ -99,6 +99,12 @@ pub struct Node {
     /// Outbound payload bytes this node put on the network, broken out as
     /// state / class / object (surfaces code-cache savings per node).
     pub net_sent: NetBytes,
+    /// Payload bytes lost to fault injection, attributed to this node:
+    /// dropped outbound messages (crash/partition/seeded loss) plus state
+    /// that arrived here but was superseded before restore. Always zero
+    /// when chaos is off; balances `net_sent` against receive-side
+    /// accounting (`sent = accounted + lost`).
+    pub net_lost: NetBytes,
     /// Pending client requests (socket accept queue), served FIFO. A ring
     /// buffer: fleet generators push hundreds of requests, so the O(n)
     /// `Vec::remove(0)` pop would make every accept linear in the backlog.
@@ -129,6 +135,7 @@ impl Node {
             repo: HashMap::new(),
             peer_classes: HashMap::new(),
             net_sent: NetBytes::default(),
+            net_lost: NetBytes::default(),
             sock_queue: VecDeque::new(),
             sock_waiters: VecDeque::new(),
             slices: 0,

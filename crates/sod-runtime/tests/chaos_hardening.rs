@@ -1,0 +1,177 @@
+//! Engine hardening under fault injection: the regression suite for the
+//! failure paths the chaos harness can reach. Before the harness existed,
+//! a crashed destination or a lost `State` message left the home side
+//! frozen forever (or tripped an `expect(..)`); these tests pin the typed
+//! recovery behaviour — `FallbackToHome` resumes the retained home stack,
+//! `Retry` re-ships the retained segments, and returns addressed to a
+//! crashed home are dropped with the failure recorded, never a panic.
+
+use sod::net::{MS, US};
+use sod::preprocess::preprocess_sod;
+use sod::scenario::{Chaos, Fleet, Plan, Scenario, When};
+use sod::vm::value::Value;
+use sod::workloads::programs::fib_class;
+use sod::ScenarioReport;
+use sod_runtime::node::NodeConfig;
+use sod_runtime::RetryPolicy;
+
+/// One Fib(16) program homed on `home`, migrating its top frames to
+/// `worker` at 50 µs, declared as a fleet-of-one so failures are recorded
+/// on the report instead of aborting the run.
+fn offload_scenario(chaos: Chaos) -> ScenarioReport {
+    let class = preprocess_sod(&fib_class()).expect("preprocess fib");
+    Scenario::new()
+        .slice_ns(10_000)
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("worker", NodeConfig::cluster("worker"))
+        .fleet(
+            Fleet::new("Fib", "main", vec![Value::Int(16)])
+                .programs(1)
+                .migrate(When::At(50 * US), Plan::top_to("worker", 2)),
+        )
+        .chaos(chaos)
+        .run()
+        .expect("hardened engine must never panic under chaos")
+}
+
+#[test]
+fn destination_crash_mid_migration_falls_back_to_home() {
+    // The worker is dead before the shipped segment arrives and never
+    // comes back: the State message is dropped at delivery. The home
+    // side kept its frames (capture does not truncate), so the episode
+    // deadline thaws the stack and the program completes locally.
+    let r = offload_scenario(
+        Chaos::new()
+            .crash_at(0, "worker")
+            .migration_timeout(2 * MS)
+            .retry(RetryPolicy::FallbackToHome),
+    );
+    let p = &r.programs()[0];
+    assert_eq!(p.error, None, "fallback must rescue the program");
+    assert_eq!(p.report.result, Some(987), "recomputed at home");
+    assert!(
+        p.report.migrations.is_empty(),
+        "the segment never restored anywhere"
+    );
+    assert_eq!(r.cluster.chaos.crashes, 1);
+    assert_eq!(r.cluster.chaos.timeouts, 1);
+    assert_eq!(r.cluster.chaos.fallbacks, 1);
+    assert_eq!(r.cluster.chaos.retries, 0);
+    assert!(
+        r.cluster.total_lost().state > 0,
+        "the dropped State payload must be credited as lost"
+    );
+    assert_eq!(r.cluster.completed, 1);
+}
+
+#[test]
+fn destination_crash_with_retry_recovers_after_restart() {
+    // Same crash, but the worker restarts before the deadline and the
+    // policy is Retry: the first shipped State is dropped at the dead
+    // worker, the deadline fires once, and the retained segments re-ship
+    // under fresh session ids — the migration completes remotely on the
+    // second attempt. The restart (8 ms) sits after the first State's
+    // arrival and the deadline (20 ms) clears the real restore latency,
+    // so exactly one attempt is lost and exactly one succeeds.
+    let r = offload_scenario(
+        Chaos::new()
+            .crash_at(0, "worker")
+            .restart_at(8 * MS, "worker")
+            .migration_timeout(20 * MS)
+            .retry(RetryPolicy::Retry { max_attempts: 3 }),
+    );
+    let p = &r.programs()[0];
+    assert_eq!(p.error, None);
+    assert_eq!(p.report.result, Some(987));
+    assert_eq!(
+        p.report.migrations.len(),
+        1,
+        "the retry must actually restore on the worker"
+    );
+    assert_eq!(r.cluster.chaos.crashes, 1);
+    assert_eq!(r.cluster.chaos.restarts, 1);
+    assert_eq!(r.cluster.chaos.dropped_msgs, 1, "attempt 1's State drops");
+    assert_eq!(r.cluster.chaos.timeouts, 1);
+    assert_eq!(r.cluster.chaos.retries, 1);
+    assert_eq!(r.cluster.chaos.fallbacks, 0);
+    assert!(
+        r.cluster.total_lost().state > 0,
+        "the dropped first shipment must be credited as lost"
+    );
+}
+
+#[test]
+fn exhausted_retries_still_fall_back_instead_of_hanging() {
+    // The worker never restarts: every retry times out too. After
+    // `max_attempts` the engine must give up and thaw the home stack —
+    // the program ends with a result, never frozen forever.
+    let r = offload_scenario(
+        Chaos::new()
+            .crash_at(0, "worker")
+            .migration_timeout(2 * MS)
+            .retry(RetryPolicy::Retry { max_attempts: 2 }),
+    );
+    let p = &r.programs()[0];
+    assert_eq!(p.error, None);
+    assert_eq!(p.report.result, Some(987));
+    assert_eq!(r.cluster.chaos.retries, 1, "attempt 2 is the last");
+    assert_eq!(r.cluster.chaos.timeouts, 2);
+    assert_eq!(r.cluster.chaos.fallbacks, 1, "then the episode falls back");
+}
+
+#[test]
+fn partitioned_destination_times_out_and_falls_back() {
+    // A partition (not a crash) cuts home ↔ worker before the segment
+    // ships and never heals: the State drop is `Partitioned`, and the
+    // same deadline machinery recovers the program.
+    let r = offload_scenario(
+        Chaos::new()
+            .partition_at(0, "home", "worker")
+            .migration_timeout(2 * MS),
+    );
+    let p = &r.programs()[0];
+    assert_eq!(p.error, None);
+    assert_eq!(p.report.result, Some(987));
+    assert_eq!(r.cluster.chaos.partitions, 1);
+    assert_eq!(r.cluster.chaos.fallbacks, 1);
+    assert!(r.cluster.chaos.dropped_msgs > 0);
+}
+
+#[test]
+fn home_crash_fails_the_program_typed_and_drops_the_chained_return() {
+    // The segment chain executes remotely when the *home* crashes: the
+    // program must fail immediately with a typed error naming the crash,
+    // and the workers' eventual SegmentReturn to the dead home is dropped
+    // (or rejected as stale after the restart) — never delivered into a
+    // freed stack, never a panic, never a hang.
+    let class = preprocess_sod(&fib_class()).expect("preprocess fib");
+    let r = Scenario::new()
+        .slice_ns(10_000)
+        .node("home", NodeConfig::cluster("home"))
+        .deploys(&class)
+        .node("w0", NodeConfig::cluster("w0"))
+        .node("w1", NodeConfig::cluster("w1"))
+        .fleet(
+            Fleet::new("Fib", "main", vec![Value::Int(16)])
+                .programs(1)
+                .migrate(When::At(50 * US), Plan::chain(&[("w0", 1), ("w1", 2)])),
+        )
+        .chaos(
+            Chaos::new()
+                .crash_at(100 * US, "home")
+                .restart_at(20 * MS, "home"),
+        )
+        .run()
+        .expect("home crash must not panic the run");
+    let p = &r.programs()[0];
+    assert_eq!(p.report.result, None);
+    let err = p.error.as_deref().expect("typed failure recorded");
+    assert!(
+        err.contains("crashed"),
+        "error must name the crash, got: {err}"
+    );
+    assert_eq!(r.cluster.failed, 1);
+    assert_eq!(r.cluster.completed, 0);
+    assert_eq!(r.cluster.chaos.crashes, 1);
+}

@@ -1,0 +1,60 @@
+//! Chaos-enabled fleet presets: standard fault profiles for stress runs.
+//!
+//! A fleet experiment under fault injection needs a fault *profile* — how
+//! lossy the links are, how often nodes flap, whether the cluster splits —
+//! and ad-hoc plans scattered across tests and benches drift apart. These
+//! presets name the profiles the repository's chaos suites and the
+//! `chaos` bench sweep share. Each is a pure function of its arguments
+//! (the seed feeds [`ChaosPlan::seed`], never a wall clock), so a preset
+//! replays bit-identically — the same contract as
+//! [`ArrivalSchedule`](crate::fleet::ArrivalSchedule).
+//!
+//! Presets speak node *indices* (declaration order), matching the raw
+//! `SodSim` API; name-based scenarios use the `sod` facade's `Chaos`
+//! builder instead.
+
+use sod_net::ChaosPlan;
+
+/// Uniformly lossy links: every inter-node delivery drops with
+/// probability `permille`/1000, drawn from the seeded stream. The
+/// baseline profile for retry-policy sweeps.
+pub fn lossy_links(permille: u32, seed: u64) -> ChaosPlan {
+    ChaosPlan::new().seed(seed).loss_permille(permille)
+}
+
+/// A flaky fleet: `crashes` crash/restart pairs scattered across
+/// `nodes` nodes at seeded-random points inside `[0, window_ns)`, on top
+/// of a mild 2% link loss. The profile long-running fleet soaks use.
+pub fn flaky_fleet(nodes: usize, crashes: usize, window_ns: u64, seed: u64) -> ChaosPlan {
+    ChaosPlan::new()
+        .seed(seed)
+        .loss_permille(20)
+        .scatter_crashes(crashes, nodes, window_ns)
+}
+
+/// A split brain: the `a ↔ b` link is cut at `at` and heals at
+/// `heal_at`. Work spanning the cut sees partition drops; everything
+/// else proceeds.
+pub fn split_brain(a: usize, b: usize, at: u64, heal_at: u64) -> ChaosPlan {
+    ChaosPlan::new()
+        .partition_at(at, a, b)
+        .heal_at(heal_at, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_pure_functions_of_their_arguments() {
+        let a = flaky_fleet(8, 3, 1_000_000, 42);
+        let b = flaky_fleet(8, 3, 1_000_000, 42);
+        assert_eq!(a.entries(), b.entries());
+        let c = flaky_fleet(8, 3, 1_000_000, 43);
+        assert_ne!(a.entries(), c.entries(), "seed must perturb the schedule");
+        // 3 crash/restart pairs scattered.
+        assert_eq!(a.entries().len(), 6);
+        assert!(!lossy_links(50, 0).is_empty());
+        assert_eq!(split_brain(0, 1, 10, 20).entries().len(), 2);
+    }
+}

@@ -13,6 +13,7 @@
 //! finish in laptop-seconds; `EXPERIMENTS.md` documents the scaling.
 
 pub mod apps;
+pub mod chaos;
 pub mod characteristics;
 pub mod fleet;
 pub mod programs;

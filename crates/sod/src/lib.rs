@@ -92,6 +92,8 @@ pub use sod_runtime as runtime;
 pub use sod_vm as vm;
 pub use sod_workloads as workloads;
 
-pub use scenario::{Fleet, Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
-pub use sod_runtime::{ClusterReport, CodeShipping, NetBytes, Scheduler};
+pub use scenario::{Chaos, Fleet, Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
+pub use sod_runtime::{
+    ChaosCounters, ChaosPlan, ClusterReport, CodeShipping, NetBytes, RetryPolicy, Scheduler,
+};
 pub use sod_workloads::ArrivalSchedule;

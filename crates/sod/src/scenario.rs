@@ -58,11 +58,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use sod_net::{LinkSpec, Scheduler, Topology};
+use sod_net::{ChaosPlan, LinkSpec, Scheduler, Topology};
 use sod_runtime::trigger::{ArmedTrigger, Trigger};
 use sod_runtime::{
-    Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig, RunReport,
-    SegmentSpec, SodSim,
+    Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig,
+    RetryPolicy, RunReport, SegmentSpec, SodSim,
 };
 use sod_vm::class::ClassDef;
 use sod_vm::value::Value;
@@ -234,6 +234,152 @@ impl Fleet {
     }
 }
 
+/// A declarative fault-injection plan over *named* nodes — the facade's
+/// view of [`sod_net::ChaosPlan`]. Node names are resolved against the
+/// scenario's node table by [`Scenario::run`], so a chaos plan may be
+/// attached before the nodes it references are declared.
+///
+/// Faults are scheduled at fixed virtual times (`crash_at`, `restart_at`,
+/// `partition_at`, `heal_at`) or drawn from the seeded loss stream
+/// (`loss`, `link_loss`, `scatter_crashes`). Because the simulation clock
+/// and the loss RNG are both deterministic, a scenario with the same
+/// chaos plan and seed replays bit-identically — the chaos-determinism
+/// suite pins that.
+///
+/// ```
+/// use sod::scenario::Chaos;
+/// use sod::runtime::RetryPolicy;
+/// use sod::net::MS;
+///
+/// let chaos = Chaos::new()
+///     .seed(42)
+///     .crash_at(5 * MS, "worker")
+///     .restart_at(9 * MS, "worker")
+///     .partition_at(2 * MS, "home", "edge")
+///     .heal_at(4 * MS, "home", "edge")
+///     .loss(50) // 5% on every link
+///     .retry(RetryPolicy::Retry { max_attempts: 3 });
+/// # let _ = chaos;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Chaos {
+    crashes: Vec<(u64, String)>,
+    restarts: Vec<(u64, String)>,
+    partitions: Vec<(u64, String, String)>,
+    heals: Vec<(u64, String, String)>,
+    loss_permille: u32,
+    link_loss: Vec<(String, String, u32)>,
+    scatter: Option<(usize, u64)>,
+    seed: u64,
+    retry: Option<RetryPolicy>,
+    timeout_ns: Option<u64>,
+}
+
+impl Chaos {
+    pub fn new() -> Self {
+        Chaos::default()
+    }
+
+    /// Seed for the loss stream and any scattered crash schedule.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Crash the named node at virtual time `ns`: programs homed there
+    /// fail with a typed error, sessions hosted there are killed, and
+    /// every message to it is dropped until a matching `restart_at`.
+    pub fn crash_at(mut self, ns: u64, node: impl Into<String>) -> Self {
+        self.crashes.push((ns, node.into()));
+        self
+    }
+
+    /// Bring a crashed node back (warm restart: repo and heap survive,
+    /// in-flight work does not come back).
+    pub fn restart_at(mut self, ns: u64, node: impl Into<String>) -> Self {
+        self.restarts.push((ns, node.into()));
+        self
+    }
+
+    /// Cut the link between two named nodes (both directions) at `ns`.
+    pub fn partition_at(mut self, ns: u64, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.partitions.push((ns, a.into(), b.into()));
+        self
+    }
+
+    /// Heal a previously cut link at `ns`.
+    pub fn heal_at(mut self, ns: u64, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.heals.push((ns, a.into(), b.into()));
+        self
+    }
+
+    /// Drop every inter-node delivery with probability `permille`/1000,
+    /// drawn from the seeded stream (50 = 5%).
+    pub fn loss(mut self, permille: u32) -> Self {
+        self.loss_permille = permille;
+        self
+    }
+
+    /// Override the loss rate on the directed link `src → dst`.
+    pub fn link_loss(
+        mut self,
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        permille: u32,
+    ) -> Self {
+        self.link_loss.push((src.into(), dst.into(), permille));
+        self
+    }
+
+    /// Scatter `count` crash/restart pairs across all declared nodes at
+    /// seeded-random points inside `[0, window_ns)`.
+    pub fn scatter_crashes(mut self, count: usize, window_ns: u64) -> Self {
+        self.scatter = Some((count, window_ns));
+        self
+    }
+
+    /// What the engine does when a migration episode's deadline fires
+    /// (default [`RetryPolicy::FallbackToHome`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Override the end-to-end migration-episode deadline (virtual ns).
+    pub fn migration_timeout(mut self, ns: u64) -> Self {
+        self.timeout_ns = Some(ns);
+        self
+    }
+
+    fn resolve(
+        &self,
+        resolve: impl Fn(&str) -> Result<usize, ScenarioError>,
+        nodes: usize,
+    ) -> Result<ChaosPlan, ScenarioError> {
+        let mut plan = ChaosPlan::new().seed(self.seed);
+        for (at, node) in &self.crashes {
+            plan = plan.crash_at(*at, resolve(node)?);
+        }
+        for (at, node) in &self.restarts {
+            plan = plan.restart_at(*at, resolve(node)?);
+        }
+        for (at, a, b) in &self.partitions {
+            plan = plan.partition_at(*at, resolve(a)?, resolve(b)?);
+        }
+        for (at, a, b) in &self.heals {
+            plan = plan.heal_at(*at, resolve(a)?, resolve(b)?);
+        }
+        plan = plan.loss_permille(self.loss_permille);
+        for (src, dst, permille) in &self.link_loss {
+            plan = plan.link_loss_permille(resolve(src)?, resolve(dst)?, *permille);
+        }
+        if let Some((count, window)) = self.scatter {
+            plan = plan.scatter_crashes(count, nodes, window);
+        }
+        Ok(plan)
+    }
+}
+
 /// What went wrong while assembling or running a scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScenarioError {
@@ -350,6 +496,7 @@ pub struct Scenario {
     slice_ns: Option<u64>,
     code_shipping: Option<CodeShipping>,
     scheduler: Option<Scheduler>,
+    chaos_plan: Option<Chaos>,
     errors: Vec<ScenarioError>,
 }
 
@@ -572,6 +719,16 @@ impl Scenario {
         self
     }
 
+    /// Inject faults from a [`Chaos`] plan: node crashes, link
+    /// partitions, and seeded message loss, replayed deterministically.
+    /// Dropped and stranded bytes surface in the report's `lost` buckets
+    /// and the injected/handled fault counts in
+    /// [`ClusterReport::chaos`](sod_runtime::ChaosCounters).
+    pub fn chaos(mut self, chaos: Chaos) -> Self {
+        self.chaos_plan = Some(chaos);
+        self
+    }
+
     /// Validate the description, wire the cluster, run the simulation to
     /// idle, and collect every program's report.
     pub fn run(self) -> Result<ScenarioReport, ScenarioError> {
@@ -716,6 +873,16 @@ impl Scenario {
         }
 
         let mut sim = SodSim::with_scheduler(cluster, topo, self.scheduler.unwrap_or_default());
+        if let Some(chaos) = &self.chaos_plan {
+            let plan = chaos.resolve(resolve, self.nodes.len())?;
+            sim.set_chaos(&plan);
+            if let Some(policy) = chaos.retry {
+                sim.set_retry_policy(policy);
+            }
+            if let Some(ns) = chaos.timeout_ns {
+                sim.set_migration_timeout(ns);
+            }
+        }
         for pid in 0..self.programs.len() as u32 {
             sim.start_program(self.programs[pid as usize].start_at, pid);
         }
@@ -942,6 +1109,35 @@ mod tests {
             .program("Alloc", "main", vec![])
             .run();
         assert!(matches!(err, Err(ScenarioError::Program { .. })));
+    }
+
+    #[test]
+    fn chaos_names_are_resolved_and_checked() {
+        let class = trivial_class("T");
+        // Unknown node in a chaos directive errors at run() time.
+        let err = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .deploys(&class)
+            .program("T", "main", vec![])
+            .chaos(Chaos::new().crash_at(1_000, "ghost"))
+            .run();
+        assert_eq!(err, Err(ScenarioError::UnknownNode("ghost".into())));
+        // A quiet plan (crash of an uninvolved node) leaves results
+        // intact and surfaces chaos counters.
+        let report = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .deploys(&class)
+            .node("b", NodeConfig::cluster("b"))
+            .program("T", "main", vec![])
+            .chaos(Chaos::new().seed(9).crash_at(0, "b"))
+            .run()
+            .unwrap();
+        assert_eq!(report.first().result, Some(1));
+        assert_eq!(report.cluster.chaos.crashes, 1);
+        assert_eq!(
+            report.cluster.total_lost(),
+            sod_runtime::NetBytes::default()
+        );
     }
 
     #[test]

@@ -8,10 +8,10 @@
 use sod::net::MS;
 use sod::preprocess::preprocess_sod;
 use sod::runtime::NodeConfig;
-use sod::scenario::{Fleet, Plan, Scenario, When};
+use sod::scenario::{Chaos, Fleet, Plan, Scenario, When};
 use sod::vm::value::Value;
 use sod::workloads::programs::fib_class;
-use sod::{ArrivalSchedule, CodeShipping, ScenarioReport};
+use sod::{ArrivalSchedule, CodeShipping, NetBytes, ScenarioReport};
 
 const FLEET: usize = 120;
 
@@ -103,6 +103,74 @@ fn hundred_plus_program_fleet_completes_with_percentiles() {
     assert!(per_program.iter().all(|&i| i > 0));
     // Sanity: results are correct under heavy interleaving.
     assert!(r.programs().iter().all(|p| p.report.result == Some(987)));
+}
+
+/// Byte conservation with fault injection: a fault-free fleet has an
+/// empty `lost` bucket and the per-program balance of old; under seeded
+/// loss the dropped payloads move *into* `lost` instead of leaking out of
+/// the ledger — `sent = accounted + lost`, per category.
+#[test]
+fn dropped_bytes_land_in_the_lost_bucket_not_the_void() {
+    let balance = |r: &ScenarioReport| -> (NetBytes, NetBytes, u64, u64, u64) {
+        let state: u64 = r
+            .programs()
+            .iter()
+            .flat_map(|p| p.report.migrations.iter())
+            .map(|m| m.state_bytes)
+            .sum();
+        let class: u64 = r.programs().iter().map(|p| p.report.class_bytes).sum();
+        let object: u64 = r.programs().iter().map(|p| p.report.object_bytes).sum();
+        (
+            r.cluster.total_sent(),
+            r.cluster.total_lost(),
+            state,
+            class,
+            object,
+        )
+    };
+
+    // Fault-free: lost is identically zero and sent == accounted.
+    let clean = fleet_scenario_sized(42, 30, CodeShipping::default());
+    let (sent, lost, state, class, object) = balance(&clean);
+    assert_eq!(lost, NetBytes::default(), "no chaos ⇒ nothing lost");
+    assert_eq!(
+        sent,
+        NetBytes {
+            state,
+            class,
+            object
+        }
+    );
+
+    // Lossy: the same fleet under 8% seeded loss. Some payloads drop;
+    // they must be credited to `lost`, and the identity still closes.
+    let class_def = preprocess_sod(&fib_class()).expect("preprocess fib");
+    let lossy = Scenario::new()
+        .slice_ns(10_000)
+        .node("edge0", NodeConfig::cluster("edge0"))
+        .deploys(&class_def)
+        .node("edge1", NodeConfig::cluster("edge1"))
+        .deploys(&class_def)
+        .node("cloud", NodeConfig::cloud("cloud"))
+        .fleet(
+            Fleet::new("Fib", "main", vec![Value::Int(16)])
+                .programs(30)
+                .across(&["edge0", "edge1"])
+                .arrivals(ArrivalSchedule::bursty(40, 20 * MS).with_jitter(MS), 42)
+                .migrate(When::OnCpuSliceBudget(3), Plan::top_to("cloud", 1)),
+        )
+        .chaos(Chaos::new().seed(5).loss(80))
+        .run()
+        .expect("lossy fleet runs");
+    let (sent, lost, state, class, object) = balance(&lossy);
+    assert!(
+        lossy.cluster.chaos.dropped_msgs > 0,
+        "8% loss over 30 programs must drop something"
+    );
+    assert_ne!(lost, NetBytes::default(), "drops must be credited as lost");
+    assert_eq!(sent.state, state + lost.state, "state bytes leaked");
+    assert_eq!(sent.class, class + lost.class, "class bytes leaked");
+    assert_eq!(sent.object, object + lost.object, "object bytes leaked");
 }
 
 #[test]

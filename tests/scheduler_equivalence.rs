@@ -277,6 +277,60 @@ fn per_node_event_counts_are_populated_and_equal() {
     }
 }
 
+/// Fault injection must not cost scheduler equivalence: the chaos RNG
+/// draws in delivery order, which both schedulers reproduce identically,
+/// so crashes, partitions, and seeded loss yield bit-identical reports
+/// (chaos counters, failure sets, and `lost` buckets included).
+#[test]
+fn chaos_profiles_are_scheduler_equivalent() {
+    use sod::runtime::RetryPolicy;
+    use sod::scenario::Chaos;
+
+    let profiles: Vec<(&str, Chaos)> = vec![
+        ("loss", Chaos::new().seed(3).loss(50)),
+        (
+            "partition window",
+            Chaos::new()
+                .partition_at(2 * MS, "edge0", "cloud")
+                .heal_at(8 * MS, "edge0", "cloud"),
+        ),
+        (
+            "crash/restart",
+            Chaos::new()
+                .crash_at(5 * MS, "edge1")
+                .restart_at(15 * MS, "edge1"),
+        ),
+        (
+            "the works, retrying",
+            Chaos::new()
+                .seed(11)
+                .loss(30)
+                .partition_at(2 * MS, "edge0", "cloud")
+                .heal_at(6 * MS, "edge0", "cloud")
+                .crash_at(10 * MS, "edge1")
+                .restart_at(20 * MS, "edge1")
+                .retry(RetryPolicy::Retry { max_attempts: 2 }),
+        ),
+    ];
+    for (name, chaos) in profiles {
+        let report = assert_equivalent(name, || {
+            fleet_scenario(
+                ArrivalSchedule::bursty(10, 5 * MS).with_jitter(MS),
+                42,
+                CodeShipping::default(),
+            )
+            .chaos(chaos.clone())
+        });
+        // Everything still terminates: completed + failed partitions the
+        // fleet under every profile.
+        assert_eq!(
+            report.cluster.completed + report.cluster.failed,
+            report.cluster.launched,
+            "{name}: programs must finish or fail typed"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Property tests: random fleets through both schedulers.
 // ---------------------------------------------------------------------------
