@@ -12,6 +12,7 @@ fn main() {
         ("", sod_bench::scale_table()),
         ("", sod_bench::codecache_table()),
         ("", sod_bench::chaos_table()),
+        ("", sod_bench::elastic_table()),
     ] {
         println!("{name}{t}");
     }

@@ -1,0 +1,20 @@
+//! Regenerate the autoscaling sweep (`TABLE ELASTIC`) and its
+//! `BENCH_elastic.json`-compatible summary.
+//!
+//! With no arguments the table and the JSON line both print to stdout;
+//! pass a path (e.g. `BENCH_elastic.json`) to write the JSON there
+//! instead.
+
+fn main() {
+    // Simulate the sweep once; render the table and the JSON from it.
+    let rows = sod_bench::elastic::sweep();
+    print!("{}", sod_bench::elastic::render_table(&rows));
+    let json = sod_bench::elastic::render_json(&rows);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON summary");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -139,6 +139,25 @@ impl ChaosPlan {
         self
     }
 
+    /// Is `node` scheduled to be crashed (and not yet restarted) at
+    /// virtual time `t`? Replays the crash/restart schedule up to and
+    /// including `t` — the same stable time-then-insertion order
+    /// [`ChaosPlan::build`] compiles — so placement logic can avoid homing
+    /// work on a node that the plan has already taken down.
+    pub fn is_down_at(&self, node: usize, t: u64) -> bool {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|e| e.at);
+        let mut down = false;
+        for e in entries.iter().take_while(|e| e.at <= t) {
+            match e.action {
+                ChaosAction::Crash { node: n } if n == node => down = true,
+                ChaosAction::Restart { node: n } if n == node => down = false,
+                _ => {}
+            }
+        }
+        down
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty() && self.loss_permille == 0 && self.link_loss.is_empty()
@@ -341,6 +360,20 @@ mod tests {
         }
         let c = ChaosPlan::new().seed(4).scatter_crashes(4, 8, 1_000_000);
         assert_ne!(a, c, "the scatter must follow the seed");
+    }
+
+    #[test]
+    fn is_down_at_replays_the_crash_schedule() {
+        let plan = ChaosPlan::new()
+            .restart_at(300, 1) // out of order on purpose: the query sorts
+            .crash_at(100, 1)
+            .crash_at(200, 0);
+        assert!(!plan.is_down_at(1, 99), "before the crash");
+        assert!(plan.is_down_at(1, 100), "at the crash instant");
+        assert!(plan.is_down_at(1, 299), "inside the down window");
+        assert!(!plan.is_down_at(1, 300), "restart lifts the crash");
+        assert!(plan.is_down_at(0, 500), "never restarted: down forever");
+        assert!(!plan.is_down_at(2, 500), "untouched node is up");
     }
 
     #[test]

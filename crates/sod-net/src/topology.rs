@@ -46,6 +46,18 @@ impl Topology {
         self.n
     }
 
+    /// Add one node mid-run and return its id. The new node reaches every
+    /// existing node over the default spec (links are created lazily), so
+    /// [`Topology::min_link_latency_ns`] — the sharded scheduler's
+    /// conservative lookahead — is unchanged and stays sound: growth never
+    /// introduces a faster link than the minimum captured at queue
+    /// construction.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.n;
+        self.n += 1;
+        id
+    }
+
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -161,6 +173,22 @@ mod tests {
         t.heal(0, 1);
         assert!(!t.is_cut(0, 1));
         assert!(!t.is_cut(1, 0));
+    }
+
+    #[test]
+    fn add_node_grows_the_topology_without_touching_lookahead() {
+        let mut t = Topology::gigabit_cluster(2);
+        t.set_link(0, 1, LinkSpec::wifi_kbps(128));
+        let lookahead = t.min_link_latency_ns();
+        let id = t.add_node();
+        assert_eq!(id, 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.add_node(), 3);
+        // The new node is reachable immediately over the default spec …
+        let at = t.transfer(0, 0, 2, 1000);
+        assert!(at > 0);
+        // … and the conservative lookahead is unchanged by growth.
+        assert_eq!(t.min_link_latency_ns(), lookahead);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::costs;
 use crate::msg::{FsOp, HostReply, MigrationPlan, Msg, ProgramId};
 use crate::trigger::Trigger;
 
-use super::session::{HomeSide, Owner};
+use super::session::{HomeSide, Owner, WorkerPhase};
 use super::{rollback_to_statement_start, Cluster, CONTROL_MSG_BYTES};
 
 impl Cluster {
@@ -73,6 +73,16 @@ impl Cluster {
         self.programs[owner_program as usize].report.instructions += retired;
         self.nodes[node].slices += 1;
         self.nodes[node].busy_ns += elapsed;
+        // CPU contention (elastic ablations): the *scheduling delay* until
+        // this thread runs again stretches with the number of threads
+        // competing for this node's CPU, while `busy_ns` above keeps
+        // charging uncontended CPU seconds. Off by default, so pool-free
+        // scenarios replay bit-identically to the pre-elastic engine.
+        let elapsed = if self.cpu_contention {
+            elapsed * self.competing_threads(node)
+        } else {
+            elapsed
+        };
 
         // Finish a handler-protocol restore once the thread executes
         // anything past the last re-established frame (including returning
@@ -118,6 +128,33 @@ impl Cluster {
             StepOutcome::Unhandled(e) => self.thread_faulted(node, tid, e, elapsed, ctx),
             StepOutcome::Breakpoint { .. } => self.restore_breakpoint(node, tid, elapsed, ctx),
         }
+    }
+
+    /// Threads genuinely competing for `node`'s CPU: runnable *and* owned
+    /// by something that still executes here. A frozen home thread (its
+    /// segment runs remotely), a finished program's thread, or an orphaned
+    /// worker thread stays `Runnable` in the VM but never receives a
+    /// slice, so counting it would charge phantom contention.
+    fn competing_threads(&self, node: usize) -> u64 {
+        let count = self.nodes[node]
+            .vm
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_runnable())
+            .filter(|(tid, _)| match self.thread_owner.get(&(node, *tid)) {
+                Some(Owner::Root(p)) => {
+                    let p = &self.programs[*p as usize];
+                    !p.done && !p.side.is_frozen()
+                }
+                Some(Owner::Worker(s)) => self
+                    .sessions
+                    .get(s)
+                    .is_some_and(|w| !matches!(w.phase, WorkerPhase::Done)),
+                None => false,
+            })
+            .count() as u64;
+        count.max(1)
     }
 
     // ------------------------------------------------------------------

@@ -67,11 +67,15 @@ impl Cluster {
                 self.chaos.crashes += 1;
                 // Programs homed here lose their root thread and heap
                 // master copies: a typed failure, recorded like any other.
+                // Only *started* programs die — one launching after a
+                // later restart never saw this crash (if its launch falls
+                // inside the outage, the dropped `StartProgram` fails it
+                // in `note_dropped` instead).
                 let failed: Vec<ProgramId> = self
                     .programs
                     .iter()
                     .enumerate()
-                    .filter(|(_, p)| !p.done && p.home == node)
+                    .filter(|(_, p)| !p.done && p.started && p.home == node)
                     .map(|(i, _)| i as ProgramId)
                     .collect();
                 for program in failed {
@@ -94,6 +98,9 @@ impl Cluster {
                 // request delivered after restart must not resume one.
                 self.nodes[node].sock_queue.clear();
                 self.nodes[node].sock_waiters.clear();
+                // A crashed elastic-pool member retires permanently; the
+                // pool's next controller tick spawns a replacement.
+                self.note_pool_member_crashed(node, now);
             }
             ChaosAction::Restart { .. } => self.chaos.restarts += 1,
             ChaosAction::Partition { .. } => self.chaos.partitions += 1,
@@ -113,10 +120,17 @@ impl Cluster {
         _dst: usize,
         msg: Msg,
         _reason: DropReason,
-        _now: u64,
+        now: u64,
     ) {
         self.chaos.dropped_msgs += 1;
         match msg {
+            // The launch event landed on a node that is down: the program
+            // fails at its own start time (a self-addressed timer, so the
+            // only way to lose it is a crashed home).
+            Msg::StartProgram { program } => {
+                let home = self.programs[program as usize].home;
+                self.fail_program(program, format!("home node {home} down at launch"), now);
+            }
             Msg::State { state_bytes, .. } => {
                 self.nodes[src].net_lost.state += state_bytes;
             }

@@ -14,6 +14,7 @@ use sod_vm::wire::class_wire_bytes;
 use crate::costs;
 use crate::msg::{MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, SessionId};
 
+use super::pool::POOL_DEST_BASE;
 use super::session::{HomeSide, Owner, StagedSegment, WorkerPhase};
 use super::{Cluster, CodeShipping};
 
@@ -58,6 +59,20 @@ impl Cluster {
         elapsed: u64,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
+        // Pool-sentinel destinations stay symbolic through the freeze:
+        // placement resolves at *ship* time (`capture_done`), so it sees
+        // any members the controller spawned while the capture ran — a
+        // burst's captures all start before the first scale-out tick, and
+        // resolving here would place the whole burst on the pre-burst
+        // membership. Here we only reject a dead plan (unknown pool, or a
+        // pool with nothing live or provisioning): nothing migrates and
+        // the thread resumes where it stopped.
+        for seg in &plan.segments {
+            if !self.pool_placeable(seg.dest) {
+                ctx.schedule(elapsed, node, Msg::RunSlice { tid });
+                return;
+            }
+        }
         let height = self.nodes[node].vm.thread(tid).unwrap().frames.len();
         let total: usize = plan.total_frames().min(height);
         if total == 0 {
@@ -73,13 +88,15 @@ impl Cluster {
         // Destination capability decides the capture path (Table VII) —
         // judged over the segments that will actually receive frames
         // (mirroring the split below), so the destination of an empty
-        // tail segment cannot force the slower portable path.
+        // tail segment cannot force the slower portable path. A pool
+        // sentinel is judged by the pool's template: every member shares
+        // it, so the capability is known before the member is.
         let all_jvmti = {
             let mut remaining = total;
             plan.segments.iter().all(|s| {
                 let k = s.nframes.min(remaining);
                 remaining -= k;
-                k == 0 || self.nodes[s.dest].cfg.has_jvmti
+                k == 0 || self.dest_has_jvmti(s.dest)
             })
         };
         let path = ToolingPath::Jvmti;
@@ -128,6 +145,14 @@ impl Cluster {
         let total_live: usize = live.iter().map(|(_, f)| f.len()).sum();
         self.programs[program as usize].staged.clear();
         for (i, (dest, seg_frames)) in live.iter().enumerate() {
+            // A pool-routed segment is pending at the pool until its
+            // placement resolves at ship time (`place_pool_segments`
+            // moves the count onto the chosen member). The controller
+            // counts pending into the pool's load, so the very next tick
+            // sees this capture's demand while it is still freezing.
+            if *dest >= POOL_DEST_BASE {
+                self.pools[*dest - POOL_DEST_BASE].pending += 1;
+            }
             let state = CapturedState {
                 frames: seg_frames.clone(),
                 statics: statics.clone(),
@@ -141,9 +166,16 @@ impl Cluster {
                 ReturnTarget::Home { node }
             };
             // Code shipping: bundle per the cluster policy, skipping
-            // classes the destination provably holds (peer cache).
-            let bundled = self.bundle_for(node, node, *dest, &state);
-            let class_bytes: u64 = bundled.iter().map(|c| class_wire_bytes(c)).sum();
+            // classes the destination provably holds (peer cache). A
+            // pool-routed segment bundles at ship time instead — the
+            // member (and hence its peer cache) is unknown until then.
+            let (bundled, class_bytes) = if *dest >= POOL_DEST_BASE {
+                (Vec::new(), 0)
+            } else {
+                let b = self.bundle_for(node, node, *dest, &state);
+                let cb: u64 = b.iter().map(|c| class_wire_bytes(c)).sum();
+                (b, cb)
+            };
             let info = SegmentInfo {
                 program,
                 session: sids[i],
@@ -178,6 +210,7 @@ impl Cluster {
     pub(super) fn capture_done(&mut self, program: ProgramId, ctx: &mut SimCtx<'_, Msg>) {
         let home = self.programs[program as usize].home;
         let staged = std::mem::take(&mut self.programs[program as usize].staged);
+        let staged = self.place_pool_segments(home, staged);
         if self.chaos_enabled && !staged.is_empty() {
             let retain = matches!(self.retry_policy, super::RetryPolicy::Retry { .. });
             let p = &mut self.programs[program as usize];
@@ -196,6 +229,57 @@ impl Cluster {
         for seg in staged {
             self.ship_segment(home, 0, seg, ctx);
         }
+    }
+
+    /// Resolve pool-sentinel destinations in a freshly frozen plan to
+    /// concrete members — at ship time, so placement sees every member
+    /// the controller spawned while the capture ran. Each sentinel
+    /// resolves once per plan (a whole-stack chain co-locates on one
+    /// member), the in-flight accounting moves from the pool's pending
+    /// counter onto the chosen member (balanced at session insert),
+    /// chained return targets are rewritten to the same member, and the
+    /// code bundle is selected now that the destination's peer cache is
+    /// known. A pool that lost every member since capture (chaos) falls
+    /// back to the home node: the stack is already frozen, so it
+    /// restores where it came from and runs on as a local session.
+    fn place_pool_segments(
+        &mut self,
+        home: usize,
+        mut staged: Vec<StagedSegment>,
+    ) -> Vec<StagedSegment> {
+        if staged.iter().all(|s| s.dest < POOL_DEST_BASE) {
+            return staged;
+        }
+        let mut chosen: Vec<(usize, usize)> = Vec::new(); // sentinel -> member
+        for seg in &mut staged {
+            if seg.dest < POOL_DEST_BASE {
+                continue;
+            }
+            let member = match chosen.iter().find(|&&(s, _)| s == seg.dest) {
+                Some(&(_, m)) => m,
+                None => {
+                    let m = self.resolve_pool_dest(seg.dest).unwrap_or(home);
+                    chosen.push((seg.dest, m));
+                    m
+                }
+            };
+            let pool = &mut self.pools[seg.dest - POOL_DEST_BASE];
+            pool.pending = pool.pending.saturating_sub(1);
+            self.nodes[member].inbound_sessions += 1;
+            seg.dest = member;
+            seg.bundled = self.bundle_for(home, home, member, &seg.state);
+            seg.class_bytes = seg.bundled.iter().map(|c| class_wire_bytes(c)).sum();
+        }
+        for seg in &mut staged {
+            if let ReturnTarget::Session { node, .. } = &mut seg.info.return_to {
+                if *node >= POOL_DEST_BASE {
+                    if let Some(&(_, m)) = chosen.iter().find(|&&(s, _)| s == *node) {
+                        *node = m;
+                    }
+                }
+            }
+        }
+        staged
     }
 
     /// Ship one staged segment from `sender` after `delay` (the sender-side

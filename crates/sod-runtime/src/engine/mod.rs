@@ -57,14 +57,17 @@
 //! `ClassRequest` path, so skipping is always safe.
 
 mod completion;
+mod elastic;
 mod exec;
 mod fault;
 mod migrate;
 mod objects;
+mod pool;
 mod restore;
 mod session;
 
 pub use fault::{RetryPolicy, DEFAULT_MIGRATION_TIMEOUT_NS};
+pub use pool::{PoolSpec, ScalePolicy, DEFAULT_POOL_TICK_NS, POOL_DEST_BASE};
 
 use std::collections::HashMap;
 
@@ -133,6 +136,10 @@ pub struct Program {
     pub args: Vec<Value>,
     pub report: RunReport,
     pub done: bool,
+    /// Whether the root thread has been spawned (`StartProgram`
+    /// delivered). A crash only fails *started* programs — one whose
+    /// launch lies beyond a restart must survive the earlier crash.
+    pub started: bool,
     pub error: Option<String>,
     pub fetch_policy: FetchPolicy,
     /// Armed migration policies, evaluated at migration-safe points (see
@@ -190,6 +197,17 @@ pub struct Cluster {
     pub migration_timeout_ns: u64,
     /// Fault-injection tallies, surfaced on the [`ClusterReport`].
     chaos: ChaosCounters,
+    /// Elastic node pools (see `engine/pool.rs`); empty when the scenario
+    /// declares none, keeping pool-free runs event-for-event identical to
+    /// the pre-elastic engine.
+    pools: Vec<pool::PoolRuntime>,
+    /// Model per-node CPU contention: a slice's *scheduling delay* is
+    /// multiplied by the number of runnable threads sharing the node,
+    /// while `busy_ns` keeps charging uncontended CPU time. Off by
+    /// default — existing scenarios are bit-identical to the pre-elastic
+    /// engine; elastic ablations turn it on so added capacity actually
+    /// buys latency.
+    pub cpu_contention: bool,
 }
 
 impl Cluster {
@@ -207,6 +225,8 @@ impl Cluster {
             retry_policy: RetryPolicy::default(),
             migration_timeout_ns: DEFAULT_MIGRATION_TIMEOUT_NS,
             chaos: ChaosCounters::default(),
+            pools: Vec::new(),
+            cpu_contention: false,
         }
     }
 
@@ -226,6 +246,7 @@ impl Cluster {
             args,
             report: RunReport::default(),
             done: false,
+            started: false,
             error: None,
             fetch_policy: FetchPolicy::Shallow,
             triggers: Vec::new(),
@@ -327,18 +348,25 @@ impl Cluster {
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| NodeUtilization {
-                name: n.cfg.name.clone(),
-                instructions: n.vm.instr_count,
-                slices: n.slices,
-                busy_ns: n.busy_ns,
-                events: n.events,
-                sent: n.net_sent,
-                lost: NetBytes {
-                    state: n.net_lost.state + stranded[i],
-                    class: n.net_lost.class,
-                    object: n.net_lost.object,
-                },
+            .map(|(i, n)| {
+                // Node lifetime: join → retire (drained pool members and
+                // crashed ones), join → makespan otherwise. A node that
+                // joined after the last completion has zero lifetime.
+                let end = n.retired_at_ns.unwrap_or(makespan).max(n.joined_at_ns);
+                NodeUtilization {
+                    name: n.cfg.name.clone(),
+                    instructions: n.vm.instr_count,
+                    slices: n.slices,
+                    busy_ns: n.busy_ns,
+                    events: n.events,
+                    sent: n.net_sent,
+                    lost: NetBytes {
+                        state: n.net_lost.state + stranded[i],
+                        class: n.net_lost.class,
+                        object: n.net_lost.object,
+                    },
+                    lifetime_ns: end - n.joined_at_ns,
+                }
             })
             .collect();
         let mut report = ClusterReport::aggregate(
@@ -349,6 +377,7 @@ impl Cluster {
             per_node,
         );
         report.chaos = self.chaos;
+        report.pools = self.pool_reports();
         report
     }
 }
@@ -364,12 +393,16 @@ impl World for Cluster {
             Msg::StartProgram { program } => {
                 let p = &self.programs[program as usize];
                 debug_assert_eq!(p.home, dst);
+                if p.done {
+                    return;
+                }
                 let (class, method, args) = (p.class.clone(), p.method.clone(), p.args.clone());
                 let tid = self.nodes[dst]
                     .vm
                     .spawn(&class, &method, &args)
                     .expect("spawn program");
                 self.programs[program as usize].home_tid = tid;
+                self.programs[program as usize].started = true;
                 self.programs[program as usize].report.started_at_ns = ctx.now();
                 self.thread_owner.insert((dst, tid), Owner::Root(program));
                 ctx.schedule(0, dst, Msg::RunSlice { tid });
@@ -394,6 +427,8 @@ impl World for Cluster {
             Msg::MigrationTimeout { program, attempt } => {
                 self.migration_timeout(dst, program, attempt, ctx)
             }
+            Msg::PoolTick { pool } => self.pool_tick(pool, ctx),
+            Msg::PoolReady { pool, node } => self.pool_ready(pool, node),
             Msg::State {
                 info,
                 state,
@@ -565,6 +600,24 @@ impl SodSim {
     /// Override the end-to-end migration deadline (chaos runs only).
     pub fn set_migration_timeout(&mut self, ns: u64) {
         self.sim.world.migration_timeout_ns = ns;
+    }
+
+    /// Inject the first controller tick for every registered pool (each
+    /// tick reschedules itself until the pool is quiescent). Pools must
+    /// already have been added via [`Cluster::add_pool`] — before the
+    /// simulator was built, so the topology covers the base members.
+    pub fn start_pool_ticks(&mut self) {
+        let ticks: Vec<(usize, u64)> = self
+            .sim
+            .world
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.spec.tick_ns))
+            .collect();
+        for (pool, tick_ns) in ticks {
+            self.sim.inject(tick_ns, 0, Msg::PoolTick { pool });
+        }
     }
 
     /// Inject a client request into a photo-server node.

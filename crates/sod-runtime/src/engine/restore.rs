@@ -118,6 +118,10 @@ impl Cluster {
             recorded: false,
         };
         self.sessions.insert(sid, session);
+        // The shipped stack arrived: it is no longer in flight toward this
+        // node (saturating — restores can land here via paths that never
+        // counted, e.g. an explicit plan naming a member directly).
+        self.nodes[node].inbound_sessions = self.nodes[node].inbound_sessions.saturating_sub(1);
 
         if missing.is_empty() {
             ctx.schedule(prep, node, Msg::BeginRestore { session: sid });

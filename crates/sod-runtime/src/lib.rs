@@ -102,10 +102,13 @@ pub mod msg;
 pub mod node;
 pub mod trigger;
 
-pub use engine::{Cluster, CodeShipping, FetchPolicy, RetryPolicy, SodSim};
+pub use engine::{
+    Cluster, CodeShipping, FetchPolicy, PoolSpec, RetryPolicy, ScalePolicy, SodSim,
+    DEFAULT_POOL_TICK_NS, POOL_DEST_BASE,
+};
 pub use metrics::{
     percentile_nearest_rank, ChaosCounters, ClusterReport, MigrationTimings, NetBytes,
-    NodeUtilization, RunReport,
+    NodeUtilization, PoolReport, RunReport,
 };
 pub use msg::{MigrationPlan, Msg, ProgramId, SegmentSpec, SessionId};
 pub use node::{Node, NodeConfig};

@@ -173,6 +173,40 @@ pub struct NodeUtilization {
     /// credited to the destination holding it). Keeps the conservation
     /// identity `sent = accounted + lost` under fault injection.
     pub lost: NetBytes,
+    /// Virtual ns this node was part of the cluster: join → retire for
+    /// elastic pool members, join → makespan otherwise. The busy-fraction
+    /// denominator — a late-joining pool node is judged against its own
+    /// lifetime, not the whole run.
+    pub lifetime_ns: u64,
+}
+
+impl NodeUtilization {
+    /// Fraction of this node's lifetime spent executing guest code.
+    /// Computed on demand (not stored) so the report stays all-integer
+    /// and `Eq`.
+    pub fn busy_fraction(&self) -> f64 {
+        self.busy_ns as f64 / self.lifetime_ns.max(1) as f64
+    }
+}
+
+/// Scaling activity of one elastic node pool over a run (see the engine's
+/// pool controller). All-integer and `Eq`, like every other report piece,
+/// so elastic runs replay bit-identically under `==`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolReport {
+    /// The pool's declared name.
+    pub name: String,
+    /// Nodes spawned beyond the initial base (including crash
+    /// replacements).
+    pub spawns: u64,
+    /// Nodes drained and retired (scale-in via whole-stack migration).
+    pub drains: u64,
+    /// Peak concurrent size (live + provisioning) observed.
+    pub peak: u64,
+    /// Minimum live size observed.
+    pub min: u64,
+    /// Live members when the report was taken.
+    pub final_size: u64,
 }
 
 /// Aggregate outcome of a multi-program (fleet) run.
@@ -208,6 +242,14 @@ pub struct ClusterReport {
     pub throughput_millirps: u64,
     /// Per-node work, in node-declaration order.
     pub per_node: Vec<NodeUtilization>,
+    /// Total node-lifetime across the cluster (Σ per-node `lifetime_ns`):
+    /// the *cost* axis of the elastic p99-vs-node-seconds frontier. A
+    /// fixed fleet pays `nodes × makespan`; an elastic pool pays only for
+    /// the lifetimes its members actually had.
+    pub node_ns: u64,
+    /// Per-pool scaling activity, in pool-declaration order (empty when
+    /// the scenario declares no pools).
+    pub pools: Vec<PoolReport>,
     /// Fault-injection tallies (all zero when chaos is off).
     pub chaos: ChaosCounters,
 }
@@ -228,6 +270,7 @@ impl ClusterReport {
         latencies.sort_unstable();
         let completed = latencies.len() as u64;
         let sum: u64 = latencies.iter().sum();
+        let node_ns = per_node.iter().map(|n| n.lifetime_ns).sum();
         ClusterReport {
             launched,
             completed,
@@ -242,8 +285,15 @@ impl ClusterReport {
                 .checked_div(makespan_ns)
                 .unwrap_or(0),
             per_node,
+            node_ns,
+            pools: Vec::new(),
             chaos: ChaosCounters::default(),
         }
+    }
+
+    /// The cost axis in seconds: total node-lifetime across the cluster.
+    pub fn node_seconds(&self) -> f64 {
+        self.node_ns as f64 / 1_000_000_000.0
     }
 
     /// Cluster-wide network bytes: the per-node [`NodeUtilization::sent`]
@@ -333,6 +383,7 @@ mod tests {
                         class: 0,
                         object: 1,
                     },
+                    lifetime_ns: 2_000_000_000,
                 },
                 NodeUtilization {
                     name: "n1".into(),
@@ -372,10 +423,39 @@ mod tests {
             }
         );
         assert!(r.chaos.is_quiet(), "aggregate starts with quiet counters");
+        // Cost axis: Σ per-node lifetimes (n1's default lifetime is 0).
+        assert_eq!(r.node_ns, 2_000_000_000);
+        assert!((r.node_seconds() - 2.0).abs() < f64::EPSILON);
+        assert!(r.pools.is_empty(), "aggregate starts with no pools");
         // Empty fleets aggregate to zeros, not a division panic.
         let empty = ClusterReport::aggregate(0, vec![], 0, 0, vec![]);
         assert_eq!(empty.completed, 0);
         assert_eq!(empty.throughput_millirps, 0);
+        assert_eq!(empty.node_ns, 0);
+    }
+
+    #[test]
+    fn busy_fraction_uses_node_lifetime_not_run_duration() {
+        // A pool node that joined halfway through a 2 s run and was busy
+        // 0.5 s is 50% utilized over its own 1 s lifetime — not 25% of
+        // the whole run.
+        let late = NodeUtilization {
+            name: "workers-2".into(),
+            busy_ns: 500_000_000,
+            lifetime_ns: 1_000_000_000,
+            ..Default::default()
+        };
+        assert!((late.busy_fraction() - 0.5).abs() < 1e-9);
+        // A static node's lifetime is the whole run.
+        let fixed = NodeUtilization {
+            name: "edge0".into(),
+            busy_ns: 500_000_000,
+            lifetime_ns: 2_000_000_000,
+            ..Default::default()
+        };
+        assert!((fixed.busy_fraction() - 0.25).abs() < 1e-9);
+        // Zero lifetime never divides by zero.
+        assert_eq!(NodeUtilization::default().busy_fraction(), 0.0);
     }
 
     #[test]

@@ -138,6 +138,13 @@ pub enum Msg {
     /// (armed only under fault injection). `attempt` matches the program's
     /// shipping attempt so timers from superseded episodes are ignored.
     MigrationTimeout { program: ProgramId, attempt: u32 },
+    /// Periodic elastic-pool controller tick: evaluate the pool's scale
+    /// policy on the controller node, then reschedule (see
+    /// `engine/elastic.rs`).
+    PoolTick { pool: usize },
+    /// A spawned pool node finished provisioning (cold start elapsed) and
+    /// may now accept placements. Delivered to the new node itself.
+    PoolReady { pool: usize, node: usize },
 
     // -- migration protocol -----------------------------------------------------
     /// A captured segment arriving at its destination.

@@ -121,6 +121,18 @@ pub struct Node {
     /// the figure is identical under both schedulers (delivery order is
     /// bit-identical; see the scheduler-equivalence suite).
     pub events: u64,
+    /// Sessions routed here but not yet arrived (pool placement or drain
+    /// roam chosen, restore still in flight). Pool placement counts these
+    /// alongside hosted sessions: during a burst every capture resolves
+    /// before the first restore lands, so hosted counts alone would send
+    /// the whole burst to one member.
+    pub inbound_sessions: u64,
+    /// Virtual time this node joined the cluster (0 for nodes present from
+    /// the start; the spawn instant for elastic pool members).
+    pub joined_at_ns: u64,
+    /// Virtual time this node retired (drained pool member), if it did.
+    /// Utilization denominators use the joined→retired lifetime.
+    pub retired_at_ns: Option<u64>,
 }
 
 impl Node {
@@ -141,6 +153,9 @@ impl Node {
             slices: 0,
             busy_ns: 0,
             events: 0,
+            inbound_sessions: 0,
+            joined_at_ns: 0,
+            retired_at_ns: None,
         }
     }
 

@@ -92,8 +92,11 @@ pub use sod_runtime as runtime;
 pub use sod_vm as vm;
 pub use sod_workloads as workloads;
 
-pub use scenario::{Chaos, Fleet, Plan, Preset, Scenario, ScenarioError, ScenarioReport, When};
+pub use scenario::{
+    Chaos, Fleet, Plan, Pool, Preset, Scenario, ScenarioError, ScenarioReport, When,
+};
 pub use sod_runtime::{
-    ChaosCounters, ChaosPlan, ClusterReport, CodeShipping, NetBytes, RetryPolicy, Scheduler,
+    ChaosCounters, ChaosPlan, ClusterReport, CodeShipping, NetBytes, PoolReport, RetryPolicy,
+    ScalePolicy, Scheduler,
 };
 pub use sod_workloads::ArrivalSchedule;

@@ -61,8 +61,8 @@ use std::fmt;
 use sod_net::{ChaosPlan, LinkSpec, Scheduler, Topology};
 use sod_runtime::trigger::{ArmedTrigger, Trigger};
 use sod_runtime::{
-    Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig,
-    RetryPolicy, RunReport, SegmentSpec, SodSim,
+    Cluster, ClusterReport, CodeShipping, FetchPolicy, MigrationPlan, Node, NodeConfig, PoolSpec,
+    RetryPolicy, RunReport, ScalePolicy, SegmentSpec, SodSim, DEFAULT_POOL_TICK_NS, POOL_DEST_BASE,
 };
 use sod_vm::class::ClassDef;
 use sod_vm::value::Value;
@@ -380,6 +380,134 @@ impl Chaos {
     }
 }
 
+/// A declarative elastic node pool — the facade's view of
+/// [`sod_runtime::PoolSpec`], handed to [`Scenario::pool`].
+///
+/// A pool is a named group of worker nodes sharing one [`NodeConfig`]
+/// template that the engine grows and shrinks at runtime under a
+/// [`ScalePolicy`]: `base` members exist from t = 0, scale-out spawns
+/// fresh nodes (placeable only after the cold-start latency), and
+/// scale-in drains members back toward `base` by migrating their hosted
+/// stacks off before retiring them. Migration plans and triggers may
+/// name the pool like a node — the destination resolves to the
+/// least-loaded live member *at capture time*, so placements always see
+/// the pool's current membership.
+///
+/// Initial members are named `"{pool}-{i}"` (`i < base`) and may be
+/// referenced from [`Chaos`] directives — crash one and the controller
+/// replaces it on its next tick. Per-pool scaling counters and the
+/// `node_seconds` cost metric surface in
+/// [`ClusterReport::pools`](sod_runtime::PoolReport).
+///
+/// Builder calls never fail; validation (`1 ≤ base ≤ max`, name
+/// collisions) happens in [`Scenario::run`].
+///
+/// ```
+/// use sod::net::MS;
+/// use sod::runtime::ScalePolicy;
+/// use sod::scenario::Pool;
+///
+/// let workers = Pool::new("workers")
+///     .base(2)
+///     .max(16)
+///     .scale_policy(ScalePolicy::QueueDepth { high: 2, low: 1 })
+///     .cold_start(5 * MS);
+/// # let _ = workers;
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pool {
+    name: String,
+    template: Option<NodeConfig>,
+    base: usize,
+    max: usize,
+    policy: ScalePolicy,
+    cold_start_ns: u64,
+    tick_ns: u64,
+}
+
+impl Pool {
+    /// A pool named `name`: one base member, `max` equal to `base` (a
+    /// fixed fleet — the natural baseline), queue-depth scaling armed at
+    /// `high: 2, low: 1`, zero cold start, and the default controller
+    /// tick ([`DEFAULT_POOL_TICK_NS`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        Pool {
+            name: name.into(),
+            template: None,
+            base: 1,
+            max: 1,
+            policy: ScalePolicy::QueueDepth { high: 2, low: 1 },
+            cold_start_ns: 0,
+            tick_ns: DEFAULT_POOL_TICK_NS,
+        }
+    }
+
+    /// Members provisioned up-front (live from t = 0) and the floor the
+    /// pool drains back to. Raises `max` to `base` if it would fall
+    /// below.
+    pub fn base(mut self, n: usize) -> Self {
+        self.base = n;
+        self.max = self.max.max(n);
+        self
+    }
+
+    /// Hard ceiling on concurrent members (live + provisioning).
+    pub fn max(mut self, n: usize) -> Self {
+        self.max = n;
+        self
+    }
+
+    /// The autoscaling policy (see [`ScalePolicy`] for the variants'
+    /// exact semantics). With `base == max` the policy never fires and
+    /// the pool behaves as a fixed fleet.
+    pub fn scale_policy(mut self, policy: ScalePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Cold-start latency: a spawned member accepts placements only
+    /// after this much virtual time (default 0 — instant provisioning).
+    pub fn cold_start(mut self, ns: u64) -> Self {
+        self.cold_start_ns = ns;
+        self
+    }
+
+    /// Controller tick period (default [`DEFAULT_POOL_TICK_NS`]).
+    pub fn tick(mut self, ns: u64) -> Self {
+        self.tick_ns = ns;
+        self
+    }
+
+    /// Node profile every member is created from (default:
+    /// [`NodeConfig::cluster`] named after the pool).
+    pub fn profile(mut self, cfg: NodeConfig) -> Self {
+        self.template = Some(cfg);
+        self
+    }
+
+    fn resolve(&self) -> Result<PoolSpec, ScenarioError> {
+        if self.base < 1 || self.max < self.base {
+            return Err(ScenarioError::PoolSize {
+                pool: self.name.clone(),
+                base: self.base,
+                max: self.max,
+            });
+        }
+        Ok(PoolSpec {
+            name: self.name.clone(),
+            template: self
+                .template
+                .clone()
+                .unwrap_or_else(|| NodeConfig::cluster(&self.name)),
+            base: self.base,
+            max: self.max,
+            policy: self.policy,
+            cold_start_ns: self.cold_start_ns,
+            tick_ns: self.tick_ns,
+        })
+    }
+}
+
 /// What went wrong while assembling or running a scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScenarioError {
@@ -394,8 +522,17 @@ pub enum ScenarioError {
     /// A node- or program-scoped directive (`deploys`, `on`, `migrate`,
     /// …) was called before any `node(..)` / `program(..)`.
     Misplaced(&'static str),
-    /// A custom topology's node count disagrees with the declared nodes.
+    /// A custom topology's node count disagrees with the declared nodes
+    /// (including the initial members of every pool).
     TopologySize { topology: usize, declared: usize },
+    /// A pool shares its name with a node or another pool.
+    DuplicatePool(String),
+    /// A pool's size bounds are inconsistent (need `1 ≤ base ≤ max`).
+    PoolSize {
+        pool: String,
+        base: usize,
+        max: usize,
+    },
     /// A `migrate(..)` directive carries a plan with no segments.
     EmptyPlan,
     /// Deploying a class onto a node failed verification/loading.
@@ -417,6 +554,13 @@ impl fmt::Display for ScenarioError {
             ScenarioError::TopologySize { topology, declared } => write!(
                 f,
                 "custom topology has {topology} nodes but {declared} were declared"
+            ),
+            ScenarioError::DuplicatePool(n) => {
+                write!(f, "pool name {n:?} collides with a node or another pool")
+            }
+            ScenarioError::PoolSize { pool, base, max } => write!(
+                f,
+                "pool {pool:?} needs 1 <= base <= max (got base={base}, max={max})"
             ),
             ScenarioError::EmptyPlan => {
                 write!(f, "migration plan has no segments (nowhere to migrate)")
@@ -493,10 +637,12 @@ pub struct Scenario {
     named_mounts: Vec<(String, String, String)>,
     programs: Vec<ProgramDecl>,
     requests: Vec<(u64, String, String)>,
+    pools: Vec<Pool>,
     slice_ns: Option<u64>,
     code_shipping: Option<CodeShipping>,
     scheduler: Option<Scheduler>,
     chaos_plan: Option<Chaos>,
+    cpu_contention: bool,
     errors: Vec<ScenarioError>,
 }
 
@@ -719,6 +865,27 @@ impl Scenario {
         self
     }
 
+    /// Declare an elastic node [`Pool`]: `base` members live from t = 0,
+    /// grown toward `max` and drained back under the pool's
+    /// [`ScalePolicy`]. Plans and triggers may name the pool like a node;
+    /// chaos directives may name its initial members (`"{pool}-{i}"`).
+    /// Pool indices follow declaration order; initial members occupy node
+    /// indices after every declared node, in that same order.
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pools.push(pool);
+        self
+    }
+
+    /// Model CPU contention (default off): a thread's execution slice
+    /// stretches by the hosting node's runnable-thread count, so
+    /// co-located programs slow each other down. This is what makes
+    /// scale-out worth its node-seconds — without it an overloaded node
+    /// executes every guest at full speed.
+    pub fn cpu_contention(mut self, on: bool) -> Self {
+        self.cpu_contention = on;
+        self
+    }
+
     /// Inject faults from a [`Chaos`] plan: node crashes, link
     /// partitions, and seeded message loss, replayed deterministically.
     /// Dropped and stranded bytes surface in the report's `lost` buckets
@@ -749,26 +916,65 @@ impl Scenario {
                 return Err(ScenarioError::DuplicateNode(n.name.clone()));
             }
         }
+        // Pool table: pool names must not collide with nodes or each
+        // other; each pool's initial members ("{name}-{i}", i < base)
+        // claim the node indices after the declared nodes, in pool
+        // declaration order — so chaos and placement directives can
+        // reference them by name.
+        let declared_n = self.nodes.len();
+        let mut pool_specs: Vec<PoolSpec> = Vec::with_capacity(self.pools.len());
+        let mut pool_index: HashMap<&str, usize> = HashMap::new();
+        let mut member_index: HashMap<String, usize> = HashMap::new();
+        let mut total_nodes = declared_n;
+        for (pi, pool) in self.pools.iter().enumerate() {
+            if index.contains_key(pool.name.as_str())
+                || pool_index.insert(pool.name.as_str(), pi).is_some()
+            {
+                return Err(ScenarioError::DuplicatePool(pool.name.clone()));
+            }
+            let spec = pool.resolve()?;
+            for i in 0..spec.base {
+                let member = format!("{}-{i}", spec.name);
+                if index.contains_key(member.as_str()) {
+                    return Err(ScenarioError::DuplicateNode(member));
+                }
+                member_index.insert(member, total_nodes);
+                total_nodes += 1;
+            }
+            pool_specs.push(spec);
+        }
         let resolve = |name: &str| -> Result<usize, ScenarioError> {
             index
                 .get(name)
                 .copied()
+                .or_else(|| member_index.get(name).copied())
                 .ok_or_else(|| ScenarioError::UnknownNode(name.to_owned()))
         };
+        // Plan/trigger destinations additionally accept a pool name,
+        // which becomes a sentinel the engine resolves to the
+        // least-loaded live member at capture time.
+        let resolve_dest = |name: &str| -> Result<usize, ScenarioError> {
+            match pool_index.get(name) {
+                Some(pi) => Ok(POOL_DEST_BASE + pi),
+                None => resolve(name),
+            }
+        };
 
-        // Topology: preset sized to the declared nodes, links overridden
-        // by name.
+        // Topology: preset sized to the declared nodes plus every pool's
+        // initial members, links overridden by name. Members spawned by
+        // scale-out join the topology at runtime with the default link
+        // profile.
         let mut topo = match self
             .topo
             .unwrap_or(TopoSpec::Preset(Preset::GigabitCluster))
         {
-            TopoSpec::Preset(Preset::GigabitCluster) => Topology::gigabit_cluster(self.nodes.len()),
-            TopoSpec::Preset(Preset::WanGrid) => Topology::wan_grid(self.nodes.len()),
+            TopoSpec::Preset(Preset::GigabitCluster) => Topology::gigabit_cluster(total_nodes),
+            TopoSpec::Preset(Preset::WanGrid) => Topology::wan_grid(total_nodes),
             TopoSpec::Custom(t) => {
-                if t.len() != self.nodes.len() {
+                if t.len() != total_nodes {
                     return Err(ScenarioError::TopologySize {
                         topology: t.len(),
-                        declared: self.nodes.len(),
+                        declared: total_nodes,
                     });
                 }
                 t
@@ -804,6 +1010,13 @@ impl Scenario {
             nodes[resolve(node)?].fs.mount(prefix.clone(), server);
         }
 
+        // Chaos resolves before placement so fleet expansion can see
+        // which nodes are already down when each member spawns.
+        let chaos_plan = match &self.chaos_plan {
+            Some(chaos) => Some(chaos.resolve(resolve, total_nodes)?),
+            None => None,
+        };
+
         // Programs (incl. expanded fleet members): placement, fetch
         // policy, armed policy triggers.
         let mut cluster = Cluster::new(nodes);
@@ -813,11 +1026,12 @@ impl Scenario {
         if let Some(policy) = self.code_shipping {
             cluster.code_shipping = policy;
         }
+        cluster.cpu_contention = self.cpu_contention;
         let resolve_plan = |plan: &Plan| -> Result<MigrationPlan, ScenarioError> {
             let mut segments = Vec::with_capacity(plan.segments.len());
             for (node, nframes) in &plan.segments {
                 segments.push(SegmentSpec {
-                    dest: resolve(node)?,
+                    dest: resolve_dest(node)?,
                     nframes: *nframes,
                 });
             }
@@ -829,10 +1043,30 @@ impl Scenario {
         let mut fixed: Vec<(u64, u32, MigrationPlan)> = Vec::new();
         let mut names = Vec::with_capacity(self.programs.len());
         for decl in &self.programs {
-            let home = match &decl.on {
+            let mut home = match &decl.on {
                 Some(name) => resolve(name)?,
                 None => 0,
             };
+            // Fleet members skip homes that are already down when they
+            // spawn: round-robin advances over the declared nodes until
+            // one is up at the member's start time. If every candidate is
+            // down the original placement stands — the member then fails
+            // with the usual typed crash error instead of silently
+            // stalling. Single `program(..)` declarations keep their
+            // exact placement (a crash there is the experiment).
+            if decl.from_fleet && home < declared_n && declared_n > 1 {
+                if let Some(plan) = &chaos_plan {
+                    if plan.is_down_at(home, decl.start_at) {
+                        for step in 1..declared_n {
+                            let cand = (home + step) % declared_n;
+                            if !plan.is_down_at(cand, decl.start_at) {
+                                home = cand;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
             let pid = cluster.add_program(home, &*decl.class, &*decl.method, decl.args.clone());
             cluster.programs[pid as usize].fetch_policy = decl.fetch_policy;
             names.push(format!("{}::{}", decl.class, decl.method));
@@ -872,10 +1106,17 @@ impl Scenario {
             }
         }
 
+        // Pools join after every declared node so member indices line up
+        // with the name table built above.
+        for spec in pool_specs {
+            cluster.add_pool(spec);
+        }
+
         let mut sim = SodSim::with_scheduler(cluster, topo, self.scheduler.unwrap_or_default());
+        if let Some(plan) = &chaos_plan {
+            sim.set_chaos(plan);
+        }
         if let Some(chaos) = &self.chaos_plan {
-            let plan = chaos.resolve(resolve, self.nodes.len())?;
-            sim.set_chaos(&plan);
             if let Some(policy) = chaos.retry {
                 sim.set_retry_policy(policy);
             }
@@ -883,6 +1124,7 @@ impl Scenario {
                 sim.set_migration_timeout(ns);
             }
         }
+        sim.start_pool_ticks();
         for pid in 0..self.programs.len() as u32 {
             sim.start_program(self.programs[pid as usize].start_at, pid);
         }
@@ -1138,6 +1380,146 @@ mod tests {
             report.cluster.total_lost(),
             sod_runtime::NetBytes::default()
         );
+    }
+
+    #[test]
+    fn pool_bounds_and_name_collisions_are_checked() {
+        let class = trivial_class("T");
+        let base_scenario = || {
+            Scenario::new()
+                .node("a", NodeConfig::cluster("a"))
+                .deploys(&class)
+                .program("T", "main", vec![])
+        };
+        // base must be at least 1 …
+        let err = base_scenario().pool(Pool::new("w").base(0)).run();
+        assert_eq!(
+            err,
+            Err(ScenarioError::PoolSize {
+                pool: "w".into(),
+                base: 0,
+                max: 1,
+            })
+        );
+        // … and max must cover it.
+        let err = base_scenario().pool(Pool::new("w").base(2).max(1)).run();
+        assert_eq!(
+            err,
+            Err(ScenarioError::PoolSize {
+                pool: "w".into(),
+                base: 2,
+                max: 1,
+            })
+        );
+        // A pool may not shadow a node, nor another pool.
+        let err = base_scenario().pool(Pool::new("a")).run();
+        assert_eq!(err, Err(ScenarioError::DuplicatePool("a".into())));
+        let err = base_scenario()
+            .pool(Pool::new("w"))
+            .pool(Pool::new("w"))
+            .run();
+        assert_eq!(err, Err(ScenarioError::DuplicatePool("w".into())));
+        // An initial member name may not shadow a declared node either.
+        let err = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .deploys(&class)
+            .node("w-0", NodeConfig::cluster("w-0"))
+            .program("T", "main", vec![])
+            .pool(Pool::new("w"))
+            .run();
+        assert_eq!(err, Err(ScenarioError::DuplicateNode("w-0".into())));
+    }
+
+    #[test]
+    fn pool_destinations_resolve_and_counters_surface() {
+        let class = sod_asm::builder::ClassBuilder::new("App")
+            .method("work", &["n"], |m| {
+                m.line();
+                m.pushi(0).store("acc");
+                m.pushi(0).store("i");
+                m.line();
+                m.label("loop");
+                m.load("i").load("n").if_cmp(sod_vm::instr::Cmp::Ge, "done");
+                m.line();
+                m.load("acc").load("i").add().store("acc");
+                m.line();
+                m.load("i").pushi(1).add().store("i").goto("loop");
+                m.line();
+                m.label("done");
+                m.load("acc").retv();
+            })
+            .method("main", &["n"], |m| {
+                m.line();
+                m.load("n").invoke("App", "work", 1).store("r");
+                m.line();
+                m.load("r").retv();
+            })
+            .build()
+            .unwrap();
+        let class = sod_preprocess::preprocess_sod(&class).unwrap();
+        let report = Scenario::new()
+            .node("home", NodeConfig::cluster("home"))
+            .deploys(&class)
+            .pool(Pool::new("workers").base(1).max(2))
+            .program("App", "main", vec![Value::Int(200_000)])
+            .migrate(When::At(sod_net::MS), Plan::top_to("workers", 1))
+            .run()
+            .unwrap();
+        assert_eq!(report.first().result, Some((0..200_000i64).sum()));
+        assert_eq!(report.first().migrations.len(), 1);
+        // The pool's counters surface in the cluster report, and its
+        // initial member occupies the node slot after the declared nodes.
+        assert_eq!(report.cluster.pools.len(), 1);
+        let pool = &report.cluster.pools[0];
+        assert_eq!(pool.name, "workers");
+        assert_eq!(pool.final_size, 1);
+        assert_eq!(pool.spawns, 0);
+        assert_eq!(report.cluster.per_node.len(), 2);
+        assert!(report.cluster.per_node[1].slices > 0, "member executed");
+        assert!(report.cluster.node_ns > 0);
+        // A migration naming neither node nor pool still errors.
+        let err = Scenario::new()
+            .node("a", NodeConfig::cluster("a"))
+            .deploys(&class)
+            .program("App", "main", vec![Value::Int(4)])
+            .migrate(When::At(sod_net::MS), Plan::top_to("ghost", 1))
+            .run();
+        assert_eq!(err, Err(ScenarioError::UnknownNode("ghost".into())));
+    }
+
+    #[test]
+    fn fleet_placement_skips_nodes_down_at_spawn() {
+        let class = trivial_class("T");
+        let fleet = || {
+            Fleet::new("T", "main", vec![])
+                .programs(6)
+                .across(&["a", "b"])
+                .arrivals(ArrivalSchedule::uniform(1_000), 7)
+        };
+        let scenario = |chaos| {
+            Scenario::new()
+                .node("a", NodeConfig::cluster("a"))
+                .deploys(&class)
+                .node("b", NodeConfig::cluster("b"))
+                .deploys(&class)
+                .fleet(fleet())
+                .chaos(chaos)
+                .run()
+                .unwrap()
+        };
+        // "b" is down for the whole run. Round-robin used to home half
+        // the fleet there and fail them on arrival; placement now skips
+        // to the next node that is up at each member's start time.
+        let report = scenario(Chaos::new().crash_at(0, "b"));
+        assert_eq!(report.cluster.launched, 6);
+        assert_eq!(report.cluster.completed, 6);
+        assert_eq!(report.cluster.failed, 0);
+        assert!(report.programs().iter().all(|p| p.error.is_none()));
+        // Crashing an uninvolved instant later leaves members homed on
+        // "b" in place once it has restarted.
+        let report = scenario(Chaos::new().crash_at(0, "b").restart_at(1_500, "b"));
+        assert_eq!(report.cluster.completed, 6);
+        assert_eq!(report.cluster.failed, 0);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Elastic fleet: autoscaling as a first-class scenario. A burst of Fib
+//! requests hits two edge nodes that offload onto a [`sod::Pool`] of
+//! workers — one node at rest, up to eight under load. The queue-depth
+//! policy spawns members as migrated sessions pile up (each paying a
+//! 2 ms cold start before it accepts work), and drains them back to base
+//! by migrating their hosted stacks off before retiring them, once the
+//! burst cools down.
+//!
+//! CPU contention is on, so a session queued behind others actually
+//! waits — added capacity buys latency, and the report prices it: the
+//! [`sod::ClusterReport::node_seconds`] cost metric counts each member
+//! only while it was alive. The run is fully deterministic (the
+//! elastic-determinism suite pins bit-identical replay, scaling counters
+//! included).
+//!
+//! Run with: `cargo run --release --example elastic_fleet`
+
+use std::error::Error;
+
+use sod::net::{ns_to_ms_string, MS};
+use sod::preprocess::preprocess_sod;
+use sod::runtime::NodeConfig;
+use sod::scenario::{Fleet, Plan, Pool, Scenario, When};
+use sod::vm::value::Value;
+use sod::workloads::programs::fib_class;
+use sod::{ArrivalSchedule, ScalePolicy};
+
+const FLEET: usize = 60;
+const BASE: usize = 1;
+const MAX: usize = 8;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let class = preprocess_sod(&fib_class())?;
+
+    let report = Scenario::new()
+        .slice_ns(10_000)
+        .cpu_contention(true)
+        .node("edge0", NodeConfig::cluster("edge0"))
+        .deploys(&class)
+        .node("edge1", NodeConfig::cluster("edge1"))
+        .deploys(&class)
+        .pool(
+            Pool::new("workers")
+                .base(BASE)
+                .max(MAX)
+                .scale_policy(ScalePolicy::QueueDepth { high: 2, low: 1 })
+                .cold_start(2 * MS),
+        )
+        .fleet(
+            Fleet::new("Fib", "main", vec![Value::Int(14)])
+                .programs(FLEET)
+                .across(&["edge0", "edge1"])
+                .arrivals(ArrivalSchedule::bursty(20, 15 * MS).with_jitter(MS), 42)
+                .migrate(When::OnCpuSliceBudget(3), Plan::top_to("workers", 1)),
+        )
+        .run()?;
+
+    let cl = &report.cluster;
+    let pool = &cl.pools[0];
+    let ok = report
+        .programs()
+        .iter()
+        .filter(|p| p.report.result == Some(377))
+        .count();
+
+    println!("served        : {ok}/{FLEET} computed Fib(14)");
+    println!(
+        "pool 'workers': base {BASE} -> peak {} (max {MAX}), {} spawned, {} drained, {} at rest",
+        pool.peak, pool.spawns, pool.drains, pool.final_size
+    );
+    println!(
+        "cost          : {:.2} node-seconds across {} nodes that ever lived",
+        cl.node_seconds(),
+        cl.per_node.len()
+    );
+    println!(
+        "latency       : p50 {} ms | p95 {} ms | p99 {} ms | makespan {} ms",
+        ns_to_ms_string(cl.p50_latency_ns),
+        ns_to_ms_string(cl.p95_latency_ns),
+        ns_to_ms_string(cl.p99_latency_ns),
+        ns_to_ms_string(cl.makespan_ns),
+    );
+
+    // The elastic contract, asserted: the burst forced the pool open,
+    // cool-down drained it back, every program finished, and the cost
+    // metric accrued for every member's lifetime.
+    assert_eq!(cl.completed, FLEET as u64, "every program completes");
+    assert_eq!(cl.failed, 0);
+    assert!(pool.spawns > 0, "the burst must scale the pool out");
+    assert!(pool.drains > 0, "cool-down must drain members back");
+    assert!(pool.peak > BASE as u64 && pool.peak <= MAX as u64);
+    assert_eq!(pool.final_size, BASE as u64, "the pool ends at base size");
+    assert!(cl.node_seconds() > 0.0);
+    Ok(())
+}

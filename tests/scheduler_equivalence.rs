@@ -331,6 +331,53 @@ fn chaos_profiles_are_scheduler_equivalent() {
     }
 }
 
+/// Elastic pools must not cost scheduler equivalence either: controller
+/// ticks, cold-start timers, mid-run topology growth, and drain-by-roam
+/// all ride the same deterministic `(time, seq, dst)` order, so every
+/// scale policy yields bit-identical reports — scaling counters and
+/// node-seconds included.
+#[test]
+fn elastic_pools_are_scheduler_equivalent() {
+    use sod::scenario::Pool;
+    use sod::ScalePolicy;
+
+    for (name, policy) in [
+        ("queue depth", ScalePolicy::QueueDepth { high: 2, low: 1 }),
+        ("p99 breach", ScalePolicy::P99Breach { budget_ns: 5 * MS }),
+        ("step load", ScalePolicy::StepLoad { per_node: 2 }),
+    ] {
+        let report = assert_equivalent(name, || {
+            Scenario::new()
+                .slice_ns(10_000)
+                .cpu_contention(true)
+                .node("edge0", NodeConfig::cluster("edge0"))
+                .deploys(&fib())
+                .node("edge1", NodeConfig::cluster("edge1"))
+                .deploys(&fib())
+                .pool(
+                    Pool::new("workers")
+                        .base(1)
+                        .max(6)
+                        .scale_policy(policy)
+                        .cold_start(2 * MS),
+                )
+                .fleet(
+                    Fleet::new("Fib", "main", vec![Value::Int(14)])
+                        .programs(40)
+                        .across(&["edge0", "edge1"])
+                        .arrivals(ArrivalSchedule::bursty(10, 5 * MS).with_jitter(MS), 42)
+                        .migrate(When::OnCpuSliceBudget(3), Plan::top_to("workers", 1)),
+                )
+        });
+        assert_eq!(report.cluster.completed, 40, "{name}: fleet must finish");
+        assert_eq!(report.cluster.pools.len(), 1, "{name}");
+        assert_eq!(
+            report.cluster.pools[0].final_size, 1,
+            "{name}: pool must drain back to base"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Property tests: random fleets through both schedulers.
 // ---------------------------------------------------------------------------
