@@ -10,12 +10,17 @@ use crate::link::{Link, LinkSpec};
 /// (partitioned) at runtime by the chaos layer: a cut pair still accepts
 /// transfers — senders cannot observe the partition — but the simulator
 /// drops the delivery at arrival time.
+///
+/// Link state is stored as one row per *source* node (`rows[from][to]`),
+/// which is what lets the parallel scheduler hand each worker thread
+/// mutable ownership of exactly its shard's outbound links (a
+/// [`LinkRow`]) while the specs stay shared read-only.
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
     default_spec: LinkSpec,
     overrides: HashMap<(usize, usize), LinkSpec>,
-    links: HashMap<(usize, usize), Link>,
+    rows: Vec<HashMap<usize, Link>>,
     cut: HashSet<(usize, usize)>,
 }
 
@@ -26,7 +31,7 @@ impl Topology {
             n,
             default_spec,
             overrides: HashMap::new(),
-            links: HashMap::new(),
+            rows: (0..n).map(|_| HashMap::new()).collect(),
             cut: HashSet::new(),
         }
     }
@@ -55,6 +60,7 @@ impl Topology {
     pub fn add_node(&mut self) -> usize {
         let id = self.n;
         self.n += 1;
+        self.rows.push(HashMap::new());
         id
     }
 
@@ -67,8 +73,12 @@ impl Topology {
     pub fn set_link(&mut self, a: usize, b: usize, spec: LinkSpec) {
         self.overrides.insert((a, b), spec);
         self.overrides.insert((b, a), spec);
-        self.links.remove(&(a, b));
-        self.links.remove(&(b, a));
+        if let Some(row) = self.rows.get_mut(a) {
+            row.remove(&b);
+        }
+        if let Some(row) = self.rows.get_mut(b) {
+            row.remove(&a);
+        }
     }
 
     /// The directed link from `from` to `to` (created on first use).
@@ -78,9 +88,10 @@ impl Topology {
             .get(&(from, to))
             .copied()
             .unwrap_or(self.default_spec);
-        self.links
-            .entry((from, to))
-            .or_insert_with(|| Link::new(spec))
+        if from >= self.rows.len() {
+            self.rows.resize_with(from + 1, HashMap::new);
+        }
+        self.rows[from].entry(to).or_insert_with(|| Link::new(spec))
     }
 
     /// Submit a transfer; returns arrival time. `from == to` is a local
@@ -112,7 +123,11 @@ impl Topology {
 
     /// Total bytes carried across all links (conservation checks).
     pub fn total_bytes_carried(&self) -> u64 {
-        self.links.values().map(|l| l.bytes_carried).sum()
+        self.rows
+            .iter()
+            .flat_map(|row| row.values())
+            .map(|l| l.bytes_carried)
+            .sum()
     }
 
     /// The smallest one-way propagation latency any link can have: the
@@ -124,6 +139,71 @@ impl Topology {
             .values()
             .map(|s| s.latency_ns)
             .fold(self.default_spec.latency_ns, u64::min)
+    }
+
+    /// Split the topology into per-source [`LinkRow`]s, one per node: row
+    /// `i` owns the mutable state of every link *departing* node `i`, with
+    /// the specs shared read-only. Disjoint rows can be handed to worker
+    /// threads draining disjoint shards — a shard only ever transfers on
+    /// its own outbound links, which each row asserts.
+    pub fn link_rows(&mut self) -> Vec<LinkRow<'_>> {
+        let Topology {
+            rows,
+            default_spec,
+            overrides,
+            ..
+        } = self;
+        rows.iter_mut()
+            .enumerate()
+            .map(|(owner, links)| LinkRow {
+                owner,
+                links,
+                default_spec: *default_spec,
+                overrides,
+            })
+            .collect()
+    }
+}
+
+/// Mutable ownership of one node's outbound links, carved out of a
+/// [`Topology`] by [`Topology::link_rows`] for a parallel drain worker.
+/// Transfers from any other node panic — the network half of the
+/// ownership auditor.
+#[derive(Debug)]
+pub struct LinkRow<'a> {
+    owner: usize,
+    links: &'a mut HashMap<usize, Link>,
+    default_spec: LinkSpec,
+    overrides: &'a HashMap<(usize, usize), LinkSpec>,
+}
+
+impl LinkRow<'_> {
+    /// The node whose outbound links this row owns.
+    pub fn owner(&self) -> usize {
+        self.owner
+    }
+
+    /// Submit a transfer departing the owning node; returns arrival time.
+    /// Same cost model as [`Topology::transfer`].
+    pub fn transfer(&mut self, now: u64, from: usize, to: usize, bytes: u64) -> u64 {
+        assert_eq!(
+            from, self.owner,
+            "ownership auditor: node {from} sent over link row {} while \
+             draining in parallel",
+            self.owner
+        );
+        if from == to {
+            return now + 1_000; // 1 µs loopback
+        }
+        let spec = self
+            .overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_spec);
+        self.links
+            .entry(to)
+            .or_insert_with(|| Link::new(spec))
+            .transfer(now, bytes)
     }
 }
 
@@ -198,5 +278,38 @@ mod tests {
         t.transfer(0, 2, 3, 250);
         t.transfer(5, 1, 0, 50);
         assert_eq!(t.total_bytes_carried(), 400);
+    }
+
+    #[test]
+    fn link_rows_carry_transfers_identically() {
+        // The same transfer sequence over whole-topology access and over
+        // split rows must book identical arrival times and byte totals.
+        let mut whole = Topology::gigabit_cluster(3);
+        whole.set_link(0, 2, LinkSpec::wifi_kbps(128));
+        let mut split = whole.clone();
+        let a1 = whole.transfer(0, 0, 1, 1000);
+        let a2 = whole.transfer(0, 0, 2, 1000);
+        let a3 = whole.transfer(50, 1, 2, 500);
+        let (b1, b2, b3) = {
+            let mut rows = split.link_rows();
+            let (head, tail) = rows.split_at_mut(1);
+            let r0 = &mut head[0];
+            let r1 = &mut tail[0];
+            (
+                r0.transfer(0, 0, 1, 1000),
+                r0.transfer(0, 0, 2, 1000),
+                r1.transfer(50, 1, 2, 500),
+            )
+        };
+        assert_eq!((a1, a2, a3), (b1, b2, b3));
+        assert_eq!(whole.total_bytes_carried(), split.total_bytes_carried());
+    }
+
+    #[test]
+    #[should_panic(expected = "ownership auditor")]
+    fn link_row_rejects_foreign_senders() {
+        let mut t = Topology::gigabit_cluster(2);
+        let mut rows = t.link_rows();
+        rows[0].transfer(0, 1, 0, 100);
     }
 }

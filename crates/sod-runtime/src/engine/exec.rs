@@ -13,7 +13,7 @@ use crate::msg::{FsOp, HostReply, MigrationPlan, Msg, ProgramId};
 use crate::trigger::Trigger;
 
 use super::session::{HomeSide, Owner, WorkerPhase};
-use super::{rollback_to_statement_start, Cluster, CONTROL_MSG_BYTES};
+use super::{rollback_to_statement_start, Cluster, DeferredOp, CONTROL_MSG_BYTES};
 
 impl Cluster {
     // ------------------------------------------------------------------
@@ -70,7 +70,7 @@ impl Cluster {
         // interleaving on shared nodes, a global instruction counter would
         // charge every program for everyone's work.
         let retired = self.nodes[node].vm.instr_count - instr_before;
-        self.programs[owner_program as usize].report.instructions += retired;
+        self.defer(DeferredOp::AddInstructions(owner_program, retired));
         self.nodes[node].slices += 1;
         self.nodes[node].busy_ns += elapsed;
         // CPU contention (elastic ablations): the *scheduling delay* until
@@ -110,7 +110,7 @@ impl Cluster {
                 let Some(w) = self.sessions.get(&sid) else {
                     return;
                 };
-                let home = w.home;
+                let (home, program) = (w.home, w.program);
                 ctx.send_after(
                     elapsed,
                     node,
@@ -120,6 +120,7 @@ impl Cluster {
                         session: sid,
                         requester: node,
                         home_id: q.home_id,
+                        program,
                     },
                 );
             }
@@ -244,7 +245,7 @@ impl Cluster {
                 // Listing consults the local view plus mounted servers.
                 let mut entries = self.nodes[node].fs.list(&dir);
                 if let Some(server) = self.nodes[node].fs.serving_node(&dir) {
-                    entries = self.nodes[server].fs.list(&dir);
+                    entries = self.peer_fs(server).list(&dir);
                 }
                 ctx.schedule(
                     elapsed + 200_000,
@@ -335,8 +336,7 @@ impl Cluster {
     /// Resolve a path on `node`: `(meta, Some(server))` for mounted paths.
     fn lookup_file(&self, node: usize, path: &str) -> Option<(crate::fs::FileMeta, Option<usize>)> {
         if let Some(server) = self.nodes[node].fs.serving_node(path) {
-            self.nodes[server]
-                .fs
+            self.peer_fs(server)
                 .file(path)
                 .cloned()
                 .map(|m| (m, Some(server)))
@@ -453,10 +453,11 @@ impl Cluster {
             }
             Some(Owner::Worker(s)) => {
                 let sid = *s;
-                let home = self.sessions[&sid].home;
-                self.programs[self.sessions[&sid].program as usize]
-                    .report
-                    .classes_shipped += 1;
+                let (home, program) = {
+                    let w = &self.sessions[&sid];
+                    (w.home, w.program)
+                };
+                self.defer(DeferredOp::AddClassesShipped(program, 1));
                 ctx.send_after(
                     elapsed,
                     node,
@@ -466,6 +467,7 @@ impl Cluster {
                         session: sid,
                         requester: node,
                         name,
+                        program,
                     },
                 );
             }

@@ -198,7 +198,7 @@ impl Cluster {
     fn reship(&mut self, home: usize, program: ProgramId, ctx: &mut SimCtx<'_, Msg>) {
         let segs: Vec<StagedSegment> = self.programs[program as usize].shipped.clone();
         let dests: Vec<usize> = segs.iter().map(|s| s.dest).collect();
-        let sids: Vec<SessionId> = segs.iter().map(|_| self.alloc_session()).collect();
+        let sids: Vec<SessionId> = segs.iter().map(|_| self.alloc_session(home)).collect();
         let attempt = {
             let p = &mut self.programs[program as usize];
             p.attempt += 1;

@@ -16,7 +16,7 @@ use crate::msg::{MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, Sessi
 
 use super::pool::POOL_DEST_BASE;
 use super::session::{HomeSide, Owner, StagedSegment, WorkerPhase};
-use super::{Cluster, CodeShipping};
+use super::{Cluster, CodeShipping, DeferredOp};
 
 impl Cluster {
     // ------------------------------------------------------------------
@@ -138,7 +138,7 @@ impl Cluster {
 
         // Pre-allocate session ids so return targets can chain; the last
         // live segment always returns `Home`.
-        let sids: Vec<SessionId> = live.iter().map(|_| self.alloc_session()).collect();
+        let sids: Vec<SessionId> = live.iter().map(|_| self.alloc_session(node)).collect();
         // Whoever ultimately returns home must discard *all* the frames
         // this capture froze there — the chain above the bottom segment
         // returns remotely and the home never replays it.
@@ -296,7 +296,7 @@ impl Cluster {
     ) {
         self.nodes[sender].net_sent.state += seg.state_bytes;
         self.nodes[sender].net_sent.class += seg.class_bytes;
-        self.programs[seg.info.program as usize].report.class_bytes += seg.class_bytes;
+        self.defer(DeferredOp::AddClassBytes(seg.info.program, seg.class_bytes));
         ctx.send_after(
             delay + costs::MIGRATION_HANDSHAKE_NS,
             sender,
@@ -320,13 +320,20 @@ impl Cluster {
 
     /// Class lookup for bundling: the sender's repository first, falling
     /// back to the program home's (roaming workers hold only what shipped
-    /// to them).
+    /// to them). A foreign home's repo is read from the immutable snapshot
+    /// — sound because home repos are static after deployment (only worker
+    /// repos grow mid-run, and only the home is consulted here).
     fn lookup_class(&self, sender: usize, home: usize, name: &str) -> Option<Arc<ClassDef>> {
-        self.nodes[sender]
-            .repo
-            .get(name)
-            .or_else(|| self.nodes[home].repo.get(name))
-            .cloned()
+        if let Some(c) = self.nodes[sender].repo.get(name) {
+            return Some(c.clone());
+        }
+        if self.nodes.owns(home) {
+            self.nodes[home].repo.get(name).cloned()
+        } else {
+            self.shared
+                .as_ref()
+                .and_then(|s| s.repos[home].get(name).cloned())
+        }
     }
 
     /// Memoized [`ClassDef::referenced_classes`]: the scan walks every
@@ -432,23 +439,26 @@ impl Cluster {
         session: SessionId,
         requester: usize,
         name: String,
+        program: ProgramId,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
         let Some(class) = self.nodes[dst].repo.get(&name).cloned() else {
-            self.fail_session(
-                session,
-                format!("home node {dst} missing class {name:?}"),
-                ctx.now(),
-            );
+            // The requesting session may live on another shard: retire it
+            // and fail its program through the message-carried id — the
+            // deferred ops land wherever that state lives.
+            self.retire_session(session);
+            self.defer(DeferredOp::FailProgram {
+                program,
+                error: format!("home node {dst} missing class {name:?}"),
+                at: ctx.now(),
+            });
             return;
         };
         let bytes = class_wire_bytes(&class);
         let cost = self.nodes[dst].cfg.scale(costs::serialize_ns(bytes));
         self.nodes[dst].net_sent.class += bytes;
         self.nodes[dst].note_peer_class(requester, &name);
-        if let Some(w) = self.sessions.get(&session) {
-            self.programs[w.program as usize].report.class_bytes += bytes;
-        }
+        self.defer(DeferredOp::AddClassBytes(program, bytes));
         ctx.send_after(
             cost,
             dst,
@@ -463,14 +473,16 @@ impl Cluster {
     }
 
     /// Fail the program behind `session` and retire the session so the
-    /// stranded worker state cannot be woken by stale events.
+    /// stranded worker state cannot be woken by stale events. Callers hold
+    /// the session locally; the program may live on another shard, in
+    /// which case the failure defers to the merge.
     pub(super) fn fail_session(&mut self, session: SessionId, error: String, at: u64) {
         let Some(w) = self.sessions.get_mut(&session) else {
             return;
         };
         w.phase = WorkerPhase::Done;
         let program = w.program;
-        self.fail_program(program, error, at);
+        self.defer(DeferredOp::FailProgram { program, error, at });
     }
 
     // ------------------------------------------------------------------
@@ -496,7 +508,7 @@ impl Cluster {
             self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::AwaitRoamAck { dest };
             let ser = self.nodes[node].cfg.scale(costs::serialize_ns(flush_bytes));
             self.nodes[node].net_sent.object += flush_bytes;
-            self.programs[program as usize].report.object_bytes += flush_bytes;
+            self.defer(DeferredOp::AddObjectBytes(program, flush_bytes));
             ctx.send_after(
                 elapsed + ser,
                 node,
@@ -525,7 +537,7 @@ impl Cluster {
         let (state, tool_ns) =
             capture_segment(&mut self.nodes[node].vm, tid, nframes, ToolingPath::Jvmti)
                 .expect("roam capture");
-        let dest_jvmti = self.nodes[dest].cfg.has_jvmti;
+        let dest_jvmti = self.peer_cfg(dest).has_jvmti;
         let capture_ns = if dest_jvmti {
             self.nodes[node].cfg.scale(tool_ns)
         } else {
@@ -538,7 +550,7 @@ impl Cluster {
             let w = &self.sessions[&sid];
             (w.program, w.home, w.return_to, w.home_pop_frames)
         };
-        let new_sid = self.alloc_session();
+        let new_sid = self.alloc_session(node);
         let bundled = self.bundle_for(node, home, dest, &state);
         let class_bytes: u64 = bundled.iter().map(|c| class_wire_bytes(c)).sum();
         let state_bytes = state.wire_bytes();
@@ -558,13 +570,11 @@ impl Cluster {
         // and eventual home return pass the chaos staleness guards.
         self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::Done;
         self.thread_owner.remove(&(node, tid));
-        if let Some(slot) = self.programs[program as usize]
-            .valid_sessions
-            .iter_mut()
-            .find(|s| **s == sid)
-        {
-            *slot = new_sid;
-        }
+        self.defer(DeferredOp::ReplaceValidSession {
+            program,
+            old: sid,
+            new: new_sid,
+        });
 
         self.ship_segment(
             node,

@@ -9,10 +9,10 @@ use sod_vm::value::{ObjId, Value};
 use sod_vm::wire::{extract_closure, extract_dirty, extract_object, install_object, WireObject};
 
 use crate::costs;
-use crate::msg::{Msg, SessionId};
+use crate::msg::{Msg, ProgramId, SessionId};
 
 use super::session::WorkerPhase;
-use super::{Cluster, FetchPolicy, CONTROL_MSG_BYTES, TEMP_ID_BASE};
+use super::{Cluster, DeferredOp, FetchPolicy, CONTROL_MSG_BYTES, TEMP_ID_BASE};
 
 impl Cluster {
     pub(super) fn object_request(
@@ -21,13 +21,13 @@ impl Cluster {
         sid: SessionId,
         requester: usize,
         home_id: ObjId,
+        program: ProgramId,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
-        let policy = self
-            .sessions
-            .get(&sid)
-            .map(|w| self.programs[w.program as usize].fetch_policy)
-            .unwrap_or_default();
+        // The fetch policy comes off the program record — this node is the
+        // program's home, so the record is owned here even mid-batch; the
+        // requesting session may live on another shard.
+        let policy = self.programs[program as usize].fetch_policy;
         let (root, prefetched) = match policy {
             FetchPolicy::Shallow => (
                 extract_object(&self.nodes[home].vm.heap, home_id).expect("home object"),
@@ -80,9 +80,7 @@ impl Cluster {
             // while the reply was in flight. The bytes still arrived on
             // this program's behalf; account them on its report so the
             // object ledger stays balanced, but leave the dead thread be.
-            let p = &mut self.programs[program as usize];
-            p.report.object_faults += 1;
-            p.report.object_bytes += bytes;
+            self.defer(DeferredOp::AddObjectFault(program, bytes));
             return;
         }
         let local = install_object(&mut self.nodes[node].vm.heap, &object).expect("install");
@@ -93,9 +91,7 @@ impl Cluster {
             .vm
             .resume_fetched(tid, local)
             .expect("resume fetched");
-        let p = &mut self.programs[program as usize];
-        p.report.object_faults += 1;
-        p.report.object_bytes += bytes;
+        self.defer(DeferredOp::AddObjectFault(program, bytes));
         let cost = self.nodes[node].cfg.scale(costs::deserialize_ns(bytes));
         ctx.schedule(cost, node, Msg::RunSlice { tid });
     }

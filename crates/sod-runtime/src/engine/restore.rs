@@ -18,7 +18,7 @@ use crate::msg::{Msg, SegmentInfo, SessionId};
 
 use super::migrate::split_transfer_window;
 use super::session::{Owner, WorkerPhase, WorkerSession};
-use super::{Cluster, CONTROL_MSG_BYTES};
+use super::{Cluster, DeferredOp, CONTROL_MSG_BYTES};
 
 impl Cluster {
     // ------------------------------------------------------------------
@@ -71,11 +71,11 @@ impl Cluster {
                     .cfg
                     .scale(costs::class_load_ns(class_wire_bytes(c)));
                 if let Err(e) = self.nodes[node].vm.load_class(c) {
-                    self.fail_program(
-                        info.program,
-                        format!("bundled class {:?} failed to load: {e:?}", c.name),
-                        arrived,
-                    );
+                    self.defer(DeferredOp::FailProgram {
+                        program: info.program,
+                        error: format!("bundled class {:?} failed to load: {e:?}", c.name),
+                        at: arrived,
+                    });
                     // No session was created: the shipped state dies here.
                     self.nodes[node].net_lost.state += state_bytes;
                     return;
@@ -133,7 +133,7 @@ impl Cluster {
             let mut missing: Vec<String> = missing.into_iter().collect();
             missing.sort_unstable();
             for name in missing {
-                self.programs[info.program as usize].report.classes_shipped += 1;
+                self.defer(DeferredOp::AddClassesShipped(info.program, 1));
                 ctx.send_after(
                     prep,
                     node,
@@ -143,6 +143,7 @@ impl Cluster {
                         session: sid,
                         requester: node,
                         name,
+                        program: info.program,
                     },
                 );
             }
@@ -271,10 +272,7 @@ impl Cluster {
                 w.phase = WorkerPhase::Running;
                 ctx.schedule(cost, node, Msg::RunSlice { tid });
             }
-            self.programs[program as usize]
-                .report
-                .migrations
-                .push(timings);
+            self.defer(DeferredOp::PushMigration(program, timings));
         }
     }
 
@@ -354,9 +352,6 @@ impl Cluster {
         w.recorded = true;
         let timings = w.timings;
         let program = w.program;
-        self.programs[program as usize]
-            .report
-            .migrations
-            .push(timings);
+        self.defer(DeferredOp::PushMigration(program, timings));
     }
 }

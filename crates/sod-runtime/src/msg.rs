@@ -15,7 +15,12 @@ use sod_vm::wire::WireObject;
 /// Program identity (one root thread somewhere in the cluster).
 pub type ProgramId = u32;
 /// Migration session identity (one migrated segment instance).
-pub type SessionId = u32;
+///
+/// Ids are *striped per allocating node* — the high half names the node,
+/// the low half counts its allocations — so independent shards draining in
+/// parallel mint identical ids to a sequential run without coordinating
+/// (see `Cluster::alloc_session`).
+pub type SessionId = u64;
 
 /// One segment of a migration plan: `nframes` counted from the top of the
 /// remaining stack, shipped to `dest`.
@@ -166,10 +171,13 @@ pub enum Msg {
         sent_at: u64,
     },
     /// Worker requests a class it misses (the class-file-load-hook path).
+    /// Carries the owning program so the serving node can account the
+    /// class bytes without reaching into another shard's session state.
     ClassRequest {
         session: SessionId,
         requester: usize,
         name: String,
+        program: ProgramId,
     },
     ClassReply {
         session: SessionId,
@@ -178,11 +186,14 @@ pub enum Msg {
     },
 
     // -- object manager -------------------------------------------------------
-    /// Worker faulted on home object `home_id`.
+    /// Worker faulted on home object `home_id`. Carries the owning
+    /// program so the home's object manager reads the fetch policy off
+    /// its own program record instead of the requester's session.
     ObjectRequest {
         session: SessionId,
         requester: usize,
         home_id: ObjId,
+        program: ProgramId,
     },
     ObjectReply {
         session: SessionId,
