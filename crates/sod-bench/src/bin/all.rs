@@ -10,6 +10,10 @@ fn main() {
         ("", sod_bench::fig1()),
         ("", sod_bench::roaming()),
         ("", sod_bench::scale_table()),
+        (
+            "",
+            sod_bench::vmdispatch::render_table(&sod_bench::vmdispatch::sweep()),
+        ),
         ("", sod_bench::codecache_table()),
         ("", sod_bench::chaos_table()),
         ("", sod_bench::elastic_table()),

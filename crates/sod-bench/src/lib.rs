@@ -10,6 +10,7 @@ pub mod codecache;
 pub mod elastic;
 pub mod scale;
 pub mod tables;
+pub mod vmdispatch;
 
 pub use chaos::{chaos_json, chaos_table, run_chaos_fleet};
 pub use codecache::{codecache_json, codecache_table, run_codecache_fleet};

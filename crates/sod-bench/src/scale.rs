@@ -71,6 +71,18 @@ pub struct ScaleRow {
     pub wall_ms: u64,
 }
 
+impl ScaleRow {
+    /// Host nanoseconds the simulator spent per *simulated* instruction —
+    /// the interpreter-throughput figure of merit the fast-path work
+    /// targets (`bin/vm` measures it in isolation; this is the same ratio
+    /// under full scheduler + network load). Wall-clock derived, so not
+    /// deterministic; compare runs on the same host only.
+    pub fn ns_per_instr(&self) -> f64 {
+        let total_instr: u64 = self.report.per_node.iter().map(|u| u.instructions).sum();
+        self.wall_ms as f64 * 1e6 / total_instr.max(1) as f64
+    }
+}
+
 /// Run one fleet of `programs` Fib(16) requests under `scheduler` and
 /// aggregate it.
 pub fn run_scale_fleet(programs: usize, seed: u64, scheduler: Scheduler) -> ClusterReport {
@@ -134,7 +146,7 @@ pub fn render_table(rows: &[ScaleRow]) -> String {
     let mut out = String::from(
         "TABLE SCALE. FLEET × SCHEDULER × THREADS SWEEP (open-loop, OnCpuSliceBudget offload; \
          nearest-rank percentiles; wall = host ms)\n\
-         programs sched      thr  ok    fail p50(ms)  p95(ms)  p99(ms)  mean(ms) makespan(ms) req/s    cloud-instr% wall(ms)\n",
+         programs sched      thr  ok    fail p50(ms)  p95(ms)  p99(ms)  mean(ms) makespan(ms) req/s    cloud-instr% wall(ms) ns/instr\n",
     );
     for row in rows {
         let r = &row.report;
@@ -147,7 +159,7 @@ pub fn render_table(rows: &[ScaleRow]) -> String {
             .unwrap_or(0);
         let _ = writeln!(
             out,
-            "{:<8} {:<10} {:<4} {:<5} {:<4} {:<8} {:<8} {:<8} {:<8} {:<12} {:<8.1} {:<12.1} {}",
+            "{:<8} {:<10} {:<4} {:<5} {:<4} {:<8} {:<8} {:<8} {:<8} {:<12} {:<8.1} {:<12.1} {:<8} {:.2}",
             row.programs,
             scheduler_name(row.scheduler),
             row.threads,
@@ -161,6 +173,7 @@ pub fn render_table(rows: &[ScaleRow]) -> String {
             r.throughput_millirps as f64 / 1000.0,
             cloud_instr as f64 * 100.0 / total_instr.max(1) as f64,
             row.wall_ms,
+            row.ns_per_instr(),
         );
     }
     out
@@ -216,7 +229,8 @@ pub fn render_json(sweep_rows: &[ScaleRow]) -> String {
             })
             .collect();
         rows.push(format!(
-            "{{\"programs\":{},\"scheduler\":\"{}\",\"threads\":{},\"wall_ms\":{},\"completed\":{},\
+            "{{\"programs\":{},\"scheduler\":\"{}\",\"threads\":{},\"wall_ms\":{},\
+             \"ns_per_instr\":{:.3},\"completed\":{},\
              \"failed\":{},\"p50_ns\":{},\"p95_ns\":{},\
              \"p99_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"makespan_ns\":{},\
              \"throughput_millirps\":{},\"per_node\":[{}]}}",
@@ -224,6 +238,7 @@ pub fn render_json(sweep_rows: &[ScaleRow]) -> String {
             scheduler_name(row.scheduler),
             row.threads,
             row.wall_ms,
+            row.ns_per_instr(),
             r.completed,
             r.failed,
             r.p50_latency_ns,
@@ -275,6 +290,8 @@ mod tests {
         assert!(j.contains("\"scheduler\":\"Parallel\""));
         assert!(j.contains("\"threads\":1") && j.contains("\"threads\":2"));
         assert!(j.contains("\"wall_ms\":"));
+        assert!(j.contains("\"ns_per_instr\":"));
+        assert!(t.contains("ns/instr"));
         assert!(j.contains("\"per_node\":[{\"name\":\"edge0\""));
         assert!(j.contains("\"events\":"));
         // Balanced braces/brackets — cheap JSON well-formedness check.

@@ -26,11 +26,11 @@
 //!   scale ceiling.
 //!
 //! * [`Scheduler::Parallel`] — the sharded queue plus real worker
-//!   threads: [`shard::ShardedQueue::take_batch`] extracts the full set
+//!   threads: `shard::ShardedQueue::take_batch` extracts the full set
 //!   of per-shard batches below the safe horizon (`sim/horizon.rs`),
 //!   [`parallel::drain_batches_scoped`] drains them concurrently on
 //!   scoped threads (each worker owning its shard's link row and world
-//!   state), and [`Sim::merge_shard_logs`] replays the workers' logs in
+//!   state), and `Sim::merge_shard_logs` replays the workers' logs in
 //!   canonical `(time, seq, dst)` order, assigning final sequence numbers
 //!   exactly as a sequential run would. Worlds opt in via
 //!   [`World::parallel_ready`] and implement [`World::drain_parallel`];

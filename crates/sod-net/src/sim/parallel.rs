@@ -1,6 +1,6 @@
 //! Worker-side machinery for [`super::Scheduler::Parallel`].
 //!
-//! [`super::shard::ShardedQueue::take_batch`] proves which shards may
+//! `super::shard::ShardedQueue::take_batch` proves which shards may
 //! drain independently below the safe horizon; this module executes those
 //! per-shard batches on scoped worker threads and records everything the
 //! coordinator needs to splice the results back **bit-identically** to a

@@ -43,7 +43,7 @@ fn inject_into_method(class: &mut ClassDef, method_idx: usize) -> usize {
     let mut inserted = 0;
 
     for pc in 0..old_len {
-        let instr = m.code[pc].clone();
+        let instr = m.code[pc];
         if let Some(depth) = instr.deref_depth() {
             if !matches!(instr, Instr::Throw) {
                 new_code.push(Instr::CheckStatus(depth as u8));

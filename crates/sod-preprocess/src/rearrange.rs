@@ -74,7 +74,7 @@ pub fn rearrange_method(class: &mut ClassDef, method_idx: usize) -> VmResult<Rea
             last_in_line = in_line;
         }
 
-        let instr = method.code[pc].clone();
+        let instr = method.code[pc];
         let falls = instr.falls_through();
         let is_barrier = instr.is_barrier();
         let is_call = matches!(

@@ -437,6 +437,10 @@ impl Cluster {
                     return;
                 };
                 let cost = costs::class_load_ns(class_wire_bytes(&class));
+                // Loading only *adds* resolvable names — the VM's class
+                // table is append-only, so inline caches warmed by already
+                // running threads stay valid (misses are never cached) and
+                // no invalidation step exists here.
                 if let Err(e) = self.nodes[node].vm.load_class(&class) {
                     self.fail_program(program, format!("class load failed: {e:?}"), at);
                     return;

@@ -405,12 +405,12 @@ pub struct Program {
 /// The cluster: all nodes plus global program/session bookkeeping.
 ///
 /// Under [`sod_net::Scheduler::Parallel`] the same type doubles as a
-/// per-shard *worker view* (see [`Role`]): `split_shards` moves one
+/// per-shard *worker view* (see `Role`): `split_shards` moves one
 /// node's state — and the sessions/programs living there — into a view
 /// that drains its safe-horizon batch on a worker thread, and
 /// `absorb_shard` moves everything back. Cross-shard reads go through
-/// the immutable [`Shared`] snapshot; cross-shard writes become
-/// [`DeferredOp`]s replayed by the master during the canonical merge.
+/// the immutable `Shared` snapshot; cross-shard writes become
+/// `DeferredOp`s replayed by the master during the canonical merge.
 pub struct Cluster {
     pub nodes: Nodes,
     pub programs: Programs,
@@ -1039,7 +1039,7 @@ impl World for Cluster {
     }
 
     /// The engine honors the shard-ownership contract (every cross-node
-    /// touch is a message, a [`Shared`] read, or a [`DeferredOp`]) —
+    /// touch is a message, a `Shared` read, or a `DeferredOp`) —
     /// except under chaos (stale-guards read foreign program state) and
     /// while elastic pools are live (controllers place work fleet-wide),
     /// which stay on the sequential path.

@@ -62,6 +62,10 @@ impl Cluster {
         };
 
         // Bundled classes load immediately (charged into the prep time).
+        // Each load links a fresh pre-resolved operand form (empty inline
+        // caches, fusion tables) on the destination: migrated stacks always
+        // start cold and rewarm by executing — cache state is deliberately
+        // never part of the wire image.
         let mut prep = self.nodes[node]
             .cfg
             .scale(costs::deserialize_ns(state_bytes));

@@ -29,6 +29,10 @@ pub struct NodeConfig {
     /// Guest heap budget; allocations beyond it raise `OutOfMemoryError`
     /// (exception-driven offload experiments).
     pub mem_limit: Option<u64>,
+    /// Pin this node's VM to the name-resolution reference path (no inline
+    /// caches, no superinstructions). Differential-testing aid — reports
+    /// must be bit-identical either way.
+    pub slow_resolve: bool,
 }
 
 impl NodeConfig {
@@ -42,6 +46,7 @@ impl NodeConfig {
             exec_scale_per_mille: AGENT_IDLE_SCALE_PER_MILLE,
             io_scan_ns_per_byte_x100: 50,
             mem_limit: None,
+            slow_resolve: false,
         }
     }
 
@@ -63,6 +68,7 @@ impl NodeConfig {
             exec_scale_per_mille: 1000,
             io_scan_ns_per_byte_x100: 400,
             mem_limit: Some(96 << 20),
+            slow_resolve: false,
         }
     }
 
@@ -140,6 +146,9 @@ impl Node {
         let mut vm = Vm::new();
         vm.cost_scale_per_mille = cfg.exec_scale_per_mille;
         vm.mem_limit = cfg.mem_limit;
+        if cfg.slow_resolve {
+            vm.slow_resolve = true;
+        }
         Node {
             cfg,
             vm,

@@ -19,6 +19,14 @@
 //!   *restoration handler* rebuild locals and `lookupswitch`-jump to the
 //!   saved pc, re-invoking the next method up. The two must agree — a
 //!   property test in `sod-preprocess` verifies it.
+//!
+//! **What is deliberately *not* captured:** the interpreter's pre-resolved
+//! operand form — inline-cache slots, canonical class-name `Arc`s, and
+//! superinstruction tables (see `sod_vm::fastpath`). Those are node-local
+//! acceleration state rebuilt at link time and rewarmed by execution; a
+//! migrated segment restores *cold* at the destination and must behave (and
+//! meter) identically to one restored warm, which
+//! `tests/interp_equivalence.rs` pins.
 
 use crate::error::{VmError, VmResult};
 use crate::frame::Frame;

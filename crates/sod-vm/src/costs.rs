@@ -21,6 +21,12 @@ use crate::instr::Instr;
 pub const INTERP_MODE_FACTOR: u32 = 12;
 
 /// Cost in virtual nanoseconds of executing `i` once in JIT mode.
+///
+/// Superinstructions charge *exactly* this, twice: a fused pair precomputes
+/// the two halves' costs at link time and pushes each through a separate
+/// meter charge (per-charge scaling does not distribute over a summed
+/// cost), so fusion changes host time only, never virtual time.
+#[inline]
 pub fn instr_cost(i: &Instr) -> u64 {
     use Instr::*;
     match i {
@@ -57,6 +63,7 @@ pub fn instr_cost(i: &Instr) -> u64 {
 pub const ALLOC_COST_PER_BYTE_NS_X100: u64 = 105; // 1.05 ns/B
 
 /// Cost per byte of allocation, in ns.
+#[inline]
 pub fn alloc_cost(bytes: u64) -> u64 {
     bytes * ALLOC_COST_PER_BYTE_NS_X100 / 100
 }

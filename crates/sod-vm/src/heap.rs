@@ -15,6 +15,8 @@
 //! The heap also maintains a running byte total so a node memory budget can
 //! trigger guest `OutOfMemoryError`s (the paper's exception-driven offload).
 
+use std::sync::Arc;
+
 use crate::class::ExKind;
 use crate::error::{VmError, VmResult};
 use crate::value::{ObjId, Value};
@@ -33,7 +35,11 @@ pub enum ObjStatus {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ObjKind {
     /// A class instance; `fields` uses the class's instance-field layout.
-    Obj { class: String, fields: Vec<Value> },
+    /// The class name is a shared `Arc<str>`: allocating an instance clones
+    /// a pointer from the loaded class (no per-`New` string allocation), and
+    /// the interpreter's inline caches validate field/method resolutions
+    /// with a pointer comparison against the canonical per-class `Arc`.
+    Obj { class: Arc<str>, fields: Vec<Value> },
     /// An array of value slots.
     Arr { elems: Vec<Value> },
     /// An immutable string.
@@ -127,7 +133,7 @@ impl Heap {
     }
 
     /// Allocate a class instance with the given field values.
-    pub fn alloc_obj(&mut self, class: impl Into<String>, fields: Vec<Value>) -> ObjId {
+    pub fn alloc_obj(&mut self, class: impl Into<Arc<str>>, fields: Vec<Value>) -> ObjId {
         self.alloc(HeapObj::new(ObjKind::Obj {
             class: class.into(),
             fields,

@@ -48,8 +48,11 @@ impl Cmp {
 /// One bytecode instruction.
 ///
 /// `u16` operands index the class string pool unless noted; `u32` operands
-/// are absolute branch targets (instruction indices).
-#[derive(Clone, Debug, PartialEq)]
+/// are absolute branch targets (instruction indices). Every payload is a
+/// primitive (switch tables live in [`crate::class::MethodDef::switches`],
+/// referenced by index), so the whole enum is `Copy`: the interpreter's
+/// fetch is a register-width move, never a clone.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Instr {
     // -- constants ---------------------------------------------------------
     /// Push an integer constant.

@@ -20,12 +20,14 @@
 //!   migration request is pending.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::analysis::{class_summaries, MethodSummary};
 use crate::capture::CapturedValue;
 use crate::class::{ClassDef, ExKind};
 use crate::costs::{alloc_cost, instr_cost, INTERP_MODE_FACTOR};
 use crate::error::{VmError, VmResult};
+use crate::fastpath::{build_fusion_table, build_ic_row, FusedFirst, FusedPair, IcCell};
 use crate::frame::Frame;
 use crate::heap::{Heap, ObjKind};
 use crate::instr::Instr;
@@ -33,6 +35,14 @@ use crate::intrinsics::{self, IntrinsicEval};
 use crate::value::{ObjId, Value};
 
 /// A class loaded (linked) into a VM.
+///
+/// Besides the verified definition this carries the *pre-resolved operand
+/// form* the interpreter fast path runs on: name→index maps built once at
+/// link time, the canonical class-name `Arc` that instances share, one
+/// inline-cache row per method, and the link-time superinstruction table.
+/// None of this is serialized — `capture`/`wire` ship only the `ClassDef`
+/// and name-based frame state, so a migrated stack rebuilds (rewarms) all
+/// of it at the destination.
 #[derive(Clone, Debug)]
 pub struct LoadedClass {
     pub def: ClassDef,
@@ -41,6 +51,15 @@ pub struct LoadedClass {
     method_map: HashMap<String, usize>,
     instance_field_map: HashMap<String, usize>,
     static_field_map: HashMap<String, usize>,
+    /// Canonical shared name: every instance allocated by `New` clones this
+    /// `Arc`, so receiver-keyed inline caches validate with a pointer
+    /// comparison and allocation never copies the string.
+    name_arc: Arc<str>,
+    /// Inline-cache slots, `ics[method][pc]` (see [`IcCell`]). Node-local,
+    /// positive-only, mutated during execution, never serialized.
+    ics: Vec<Vec<IcCell>>,
+    /// Superinstruction table, `fused[method][pc]` (see [`FusedPair`]).
+    fused: Vec<Vec<Option<FusedPair>>>,
 }
 
 impl LoadedClass {
@@ -67,6 +86,9 @@ impl LoadedClass {
             .map(|(i, f)| (f.name.clone(), i))
             .collect();
         let statics = def.default_static_values();
+        let name_arc: Arc<str> = Arc::from(def.name.as_str());
+        let ics = def.methods.iter().map(build_ic_row).collect();
+        let fused = def.methods.iter().map(build_fusion_table).collect();
         Ok(LoadedClass {
             def,
             summaries,
@@ -74,7 +96,15 @@ impl LoadedClass {
             method_map,
             instance_field_map,
             static_field_map,
+            name_arc,
+            ics,
+            fused,
         })
+    }
+
+    /// Number of inline-cache slots this class has filled (warm sites).
+    pub fn ic_warm_count(&self) -> usize {
+        self.ics.iter().flatten().filter(|c| c.is_filled()).count()
     }
 
     pub fn method_idx(&self, name: &str) -> Option<usize> {
@@ -317,6 +347,12 @@ pub struct Vm {
     pub cost_scale_per_mille: u32,
     /// Heap byte budget; allocations beyond it raise guest `OutOfMemory`.
     pub mem_limit: Option<u64>,
+    /// Reference-semantics switch for differential testing: resolve every
+    /// name per execution (the pre-fast-path behaviour), never consult or
+    /// fill inline caches, and never dispatch fused pairs. Defaults to the
+    /// `slow-resolve` cargo feature. Reports must be bit-identical either
+    /// way — pinned by `tests/interp_equivalence.rs`.
+    pub slow_resolve: bool,
 }
 
 impl Default for Vm {
@@ -339,6 +375,7 @@ impl Vm {
             instr_count: 0,
             cost_scale_per_mille: 1000,
             mem_limit: None,
+            slow_resolve: cfg!(feature = "slow-resolve"),
         }
     }
 
@@ -473,7 +510,10 @@ impl Vm {
     // Execution
     // ------------------------------------------------------------------
 
-    /// Execute one instruction of thread `tid`.
+    /// Execute one instruction of thread `tid`. Always strictly
+    /// single-instruction — superinstruction dispatch happens only inside
+    /// [`Vm::run`] — so restore drivers and tooling that step a thread see
+    /// every pc.
     pub fn step(&mut self, tid: usize) -> VmResult<StepOutcome> {
         match &self.thread(tid)?.state {
             ThreadState::Runnable => {}
@@ -488,23 +528,27 @@ impl Vm {
         };
 
         // Breakpoint check happens before execution and disarms the point.
-        if let Some(bp_pos) = self
-            .breakpoints
-            .iter()
-            .position(|&(t, c, m, p)| (t, c, m, p) == (tid, ci, mi, pc))
-        {
-            self.breakpoints.swap_remove(bp_pos);
-            return Ok(StepOutcome::Breakpoint {
-                class_idx: ci,
-                method_idx: mi,
-                pc,
-            });
+        // The scan is skipped entirely when nothing is armed — the common
+        // case for every non-migrating slice.
+        if !self.breakpoints.is_empty() {
+            if let Some(bp_pos) = self
+                .breakpoints
+                .iter()
+                .position(|&(t, c, m, p)| (t, c, m, p) == (tid, ci, mi, pc))
+            {
+                self.breakpoints.swap_remove(bp_pos);
+                return Ok(StepOutcome::Breakpoint {
+                    class_idx: ci,
+                    method_idx: mi,
+                    pc,
+                });
+            }
         }
 
         let instr = {
             let code = &self.classes[ci].def.methods[mi].code;
             match code.get(pc as usize) {
-                Some(i) => i.clone(),
+                Some(i) => *i,
                 None => return Err(VmError::BadPc(pc)),
             }
         };
@@ -513,6 +557,81 @@ impl Vm {
         self.instr_count += 1;
 
         self.exec_instr(tid, ci, mi, pc, instr)
+    }
+
+    /// One dispatch inside a [`Vm::run`] slice: like [`Vm::step`], but when
+    /// no breakpoint is armed and the reference path is off, a fused
+    /// superinstruction cell at the current pc executes both halves —
+    /// honouring `remaining_ns` between them, exactly where the unfused
+    /// loop would have checked its budget.
+    fn step_sliced(&mut self, tid: usize, remaining_ns: u64) -> VmResult<StepOutcome> {
+        if self.breakpoints.is_empty() && !self.slow_resolve {
+            match &self.thread(tid)?.state {
+                ThreadState::Runnable => {}
+                ThreadState::Parked(_) => return Err(VmError::ThreadParked(tid)),
+                ThreadState::Finished(v) => return Ok(StepOutcome::Returned((*v).flatten_unit())),
+                ThreadState::Faulted(e) => return Ok(StepOutcome::Unhandled(e.clone())),
+            }
+            let (ci, mi, pc) = {
+                let f = self.threads[tid].top().expect("runnable thread has frames");
+                (f.class_idx, f.method_idx, f.pc)
+            };
+            if let Some(&Some(pair)) = self.classes[ci].fused[mi].get(pc as usize) {
+                return self.exec_fused(tid, ci, mi, pc, pair, remaining_ns);
+            }
+            let instr = {
+                let code = &self.classes[ci].def.methods[mi].code;
+                match code.get(pc as usize) {
+                    Some(i) => *i,
+                    None => return Err(VmError::BadPc(pc)),
+                }
+            };
+            self.charge(tid, instr_cost(&instr));
+            self.instr_count += 1;
+            return self.exec_instr(tid, ci, mi, pc, instr);
+        }
+        self.step(tid)
+    }
+
+    /// Execute a fused pair: charge + retire the pure push, advance the pc,
+    /// then (budget permitting) charge + retire the second half in place.
+    /// The mid-pair pc is never a migration-safe point (the push leaves the
+    /// operand stack non-empty), and fused dispatch is disabled while any
+    /// breakpoint is armed, so no observer can tell the halves were fused.
+    fn exec_fused(
+        &mut self,
+        tid: usize,
+        ci: usize,
+        mi: usize,
+        pc: u32,
+        pair: FusedPair,
+        remaining_ns: u64,
+    ) -> VmResult<StepOutcome> {
+        let before = self.meter_ns;
+        self.charge(tid, u64::from(pair.c1));
+        self.instr_count += 1;
+        {
+            let f = self.threads[tid].frames.last_mut().expect("frame");
+            match pair.first {
+                FusedFirst::Load(slot) => {
+                    let v = *f
+                        .locals
+                        .get(slot as usize)
+                        .ok_or(VmError::BadLocalSlot(slot))?;
+                    f.ostack.push(v);
+                }
+                FusedFirst::PushI(v) => f.ostack.push(Value::Int(v)),
+            }
+            f.pc = pc + 1;
+        }
+        // Slice boundary between the halves: the unfused loop would stop
+        // here with pc already at i + 1, so we do too.
+        if self.meter_ns - before >= remaining_ns {
+            return Ok(StepOutcome::Continue);
+        }
+        self.charge(tid, u64::from(pair.c2));
+        self.instr_count += 1;
+        self.exec_instr(tid, ci, mi, pc + 1, pair.second)
     }
 
     fn charge(&mut self, tid: usize, ns: u64) {
@@ -539,7 +658,11 @@ impl Vm {
                     return Ok((StepOutcome::AtMsp { pc }, self.meter_ns - start));
                 }
             }
-            let out = self.step(tid)?;
+            // `remaining` is what a fused pair may consume before it must
+            // yield between its halves; at this point spent < budget always
+            // holds, so the subtraction cannot wrap.
+            let remaining = budget_ns - (self.meter_ns - start);
+            let out = self.step_sliced(tid, remaining)?;
             if out != StepOutcome::Continue {
                 return Ok((out, self.meter_ns - start));
             }
@@ -933,8 +1056,30 @@ impl Vm {
                 advance!()
             }
             PushStr(idx) => {
-                let s = self.classes[ci].def.pool_str(idx)?.to_owned();
-                let id = self.intern_str(&s);
+                // IC: `a` caches the interned ObjId for this site. Interning
+                // is VM-global and immutable once assigned, so a filled cell
+                // is valid forever.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if cell.is_filled() {
+                    push!(Value::Ref(cell.a));
+                    return advance!();
+                }
+                let s = self.classes[ci].def.pool_str(idx)?;
+                let id = match self.interned.get(s) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.heap.alloc_str(s);
+                        self.interned.insert(s.to_owned(), id);
+                        id
+                    }
+                };
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell { a: id, b: 0 };
+                }
                 push!(Value::Ref(id));
                 advance!()
             }
@@ -1149,11 +1294,37 @@ impl Vm {
                 jump!(t)
             }
             New(cidx) => {
-                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
-                let Some(target_ci) = self.class_idx(&cname) else {
-                    return self.park_class_miss(tid, cname);
+                // IC: `a` caches the resolved class index. The class table is
+                // append-only, so a filled cell never needs revalidation; a
+                // miss parks (never cached) exactly like the reference path.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
                 };
+                let target_ci = if cell.is_filled() {
+                    cell.a as usize
+                } else {
+                    let cname = self.classes[ci].def.pool_str(cidx)?;
+                    match self.class_index.get(cname) {
+                        Some(&tci) => tci,
+                        None => {
+                            let cname = cname.to_owned();
+                            return self.park_class_miss(tid, cname);
+                        }
+                    }
+                };
+                if !self.slow_resolve && !cell.is_filled() {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: 0,
+                    };
+                }
                 let fields = self.classes[target_ci].def.default_instance_values();
+                // The instance shares the loaded class's canonical name Arc:
+                // no string copy per allocation, and receiver-keyed caches
+                // validate it with a pointer comparison.
+                let cname = self.classes[target_ci].name_arc.clone();
                 let bytes = 16 + fields.len() as u64 * Value::SLOT_BYTES;
                 match self.alloc_checked(tid, bytes, |h| h.alloc_obj(cname, fields)) {
                     Ok(id) => {
@@ -1164,86 +1335,217 @@ impl Vm {
                 }
             }
             GetField(fidx) => {
-                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                // IC: `a` = receiver class index, `b` = field slot, valid
+                // when the receiver's class Arc is pointer-equal to the
+                // cached class's canonical name.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if !cell.is_filled() {
+                    // Validate the pool index before popping, as the
+                    // reference path does; a filled cell proves a prior
+                    // successful resolution of this very operand.
+                    self.classes[ci].def.pool_str(fidx)?;
+                }
                 let base = pop!();
                 let Value::Ref(id) = base else { npe!() };
-                let obj = self.heap.get(id)?;
-                let ObjKind::Obj { class, fields } = &obj.kind else {
-                    return Err(VmError::TypeMismatch {
-                        expected: "object",
-                        found: "array/string",
-                    });
+                if cell.is_filled() {
+                    if let ObjKind::Obj { class, fields } = &self.heap.get(id)?.kind {
+                        if Arc::ptr_eq(class, &self.classes[cell.a as usize].name_arc) {
+                            let v = fields[cell.b as usize];
+                            push!(v);
+                            return advance!();
+                        }
+                    }
+                }
+                let (target_ci, fi, v) = {
+                    let obj = self.heap.get(id)?;
+                    let ObjKind::Obj { class, fields } = &obj.kind else {
+                        return Err(VmError::TypeMismatch {
+                            expected: "object",
+                            found: "array/string",
+                        });
+                    };
+                    let target_ci = self
+                        .class_index
+                        .get(class.as_ref())
+                        .copied()
+                        .ok_or_else(|| VmError::ClassNotFound(class.to_string()))?;
+                    let fname = self.classes[ci].def.pool_str(fidx)?;
+                    let fi = self.classes[target_ci]
+                        .instance_field_idx(fname)
+                        .ok_or_else(|| VmError::FieldNotFound {
+                            class: class.to_string(),
+                            field: fname.to_owned(),
+                        })?;
+                    (target_ci, fi, fields[fi])
                 };
-                let target_ci = self
-                    .class_idx(class)
-                    .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
-                let fi = self.classes[target_ci]
-                    .instance_field_idx(&fname)
-                    .ok_or_else(|| VmError::FieldNotFound {
-                        class: class.clone(),
-                        field: fname.clone(),
-                    })?;
-                let v = fields[fi];
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: fi as u32,
+                    };
+                    // Canonicalize the receiver's class Arc (wire-installed
+                    // objects arrive with a fresh one) so the next access at
+                    // any receiver-keyed site is a pointer match.
+                    let canon = self.classes[target_ci].name_arc.clone();
+                    if let ObjKind::Obj { class, .. } = &mut self.heap.get_mut(id)?.kind {
+                        *class = canon;
+                    }
+                }
                 push!(v);
                 advance!()
             }
             PutField(fidx) => {
-                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
+                // IC layout as GetField: receiver class index + field slot.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if !cell.is_filled() {
+                    self.classes[ci].def.pool_str(fidx)?;
+                }
                 let v = pop!();
                 let base = pop!();
                 let Value::Ref(id) = base else { npe!() };
-                let class = self.heap.get(id)?.class_name().to_owned();
-                let target_ci = self
-                    .class_idx(&class)
-                    .ok_or_else(|| VmError::ClassNotFound(class.clone()))?;
-                let fi = self.classes[target_ci]
-                    .instance_field_idx(&fname)
-                    .ok_or_else(|| VmError::FieldNotFound {
-                        class: class.clone(),
-                        field: fname.clone(),
-                    })?;
+                if cell.is_filled() {
+                    let obj = self.heap.get_mut(id)?;
+                    if let ObjKind::Obj { class, fields } = &mut obj.kind {
+                        if Arc::ptr_eq(class, &self.classes[cell.a as usize].name_arc) {
+                            fields[cell.b as usize] = v;
+                            obj.dirty = true;
+                            return advance!();
+                        }
+                    }
+                }
+                let (target_ci, fi) = {
+                    let class = self.heap.get(id)?.class_name();
+                    let target_ci = self
+                        .class_index
+                        .get(class)
+                        .copied()
+                        .ok_or_else(|| VmError::ClassNotFound(class.to_owned()))?;
+                    let fname = self.classes[ci].def.pool_str(fidx)?;
+                    let fi = self.classes[target_ci]
+                        .instance_field_idx(fname)
+                        .ok_or_else(|| VmError::FieldNotFound {
+                            class: class.to_owned(),
+                            field: fname.to_owned(),
+                        })?;
+                    (target_ci, fi)
+                };
+                let canon = (!self.slow_resolve).then(|| self.classes[target_ci].name_arc.clone());
                 let obj = self.heap.get_mut(id)?;
                 match &mut obj.kind {
-                    ObjKind::Obj { fields, .. } => {
+                    ObjKind::Obj { class, fields } => {
+                        if let Some(canon) = canon {
+                            *class = canon;
+                        }
                         fields[fi] = v;
                         obj.dirty = true;
                     }
                     _ => unreachable!("class_name returned a class"),
                 }
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: fi as u32,
+                    };
+                }
                 advance!()
             }
             GetStatic(cidx, fidx) => {
-                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
-                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
-                let Some(target_ci) = self.class_idx(&cname) else {
+                // IC: `a` = class index, `b` = static slot. Statics never
+                // move once linked, so a filled cell reads directly.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if cell.is_filled() {
+                    let v = self.classes[cell.a as usize].statics[cell.b as usize];
+                    push!(v);
+                    return advance!();
+                }
+                let resolved = {
+                    let cname = self.classes[ci].def.pool_str(cidx)?;
+                    let fname = self.classes[ci].def.pool_str(fidx)?;
+                    match self.class_index.get(cname).copied() {
+                        Some(tci) => match self.classes[tci].static_field_idx(fname) {
+                            Some(fi) => Some((tci, fi)),
+                            None => {
+                                return Err(VmError::FieldNotFound {
+                                    class: cname.to_owned(),
+                                    field: fname.to_owned(),
+                                })
+                            }
+                        },
+                        None => None,
+                    }
+                };
+                let Some((target_ci, fi)) = resolved else {
+                    let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
                     return self.park_class_miss(tid, cname);
                 };
-                let fi = self.classes[target_ci].static_field_idx(&fname).ok_or(
-                    VmError::FieldNotFound {
-                        class: cname,
-                        field: fname,
-                    },
-                )?;
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: fi as u32,
+                    };
+                }
                 let v = self.classes[target_ci].statics[fi];
                 push!(v);
                 advance!()
             }
             PutStatic(cidx, fidx) => {
-                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
-                let fname = self.classes[ci].def.pool_str(fidx)?.to_owned();
-                let v = pop!();
-                let Some(target_ci) = self.class_idx(&cname) else {
-                    // Undo the pop before parking so re-execution is clean.
-                    push!(v);
-                    return self.park_class_miss(tid, cname);
+                // IC layout as GetStatic. A filled cell proves class and
+                // slot exist, so the popped value is always consumed.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
                 };
-                let fi = self.classes[target_ci].static_field_idx(&fname).ok_or(
-                    VmError::FieldNotFound {
-                        class: cname,
-                        field: fname,
-                    },
-                )?;
+                if cell.is_filled() {
+                    let v = pop!();
+                    self.classes[cell.a as usize].statics[cell.b as usize] = v;
+                    return advance!();
+                }
+                // Validate both pool indices before the pop, as the
+                // reference path does.
+                self.classes[ci].def.pool_str(cidx)?;
+                self.classes[ci].def.pool_str(fidx)?;
+                let v = pop!();
+                let resolved = {
+                    let cname = self.classes[ci].def.pool_str(cidx)?;
+                    let fname = self.classes[ci].def.pool_str(fidx)?;
+                    match self.class_index.get(cname).copied() {
+                        Some(tci) => match self.classes[tci].static_field_idx(fname) {
+                            Some(fi) => Ok((tci, fi)),
+                            None => Err(VmError::FieldNotFound {
+                                class: cname.to_owned(),
+                                field: fname.to_owned(),
+                            }),
+                        },
+                        None => {
+                            // Undo the pop before parking so re-execution is
+                            // clean.
+                            let cname = cname.to_owned();
+                            push!(v);
+                            return self.park_class_miss(tid, cname);
+                        }
+                    }
+                };
+                let (target_ci, fi) = resolved?;
                 self.classes[target_ci].statics[fi] = v;
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: fi as u32,
+                    };
+                }
                 advance!()
             }
             NewArr => {
@@ -1299,23 +1601,58 @@ impl Vm {
                 advance!()
             }
             InvokeStatic(cidx, midx, nargs) => {
-                let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
-                let mname = self.classes[ci].def.pool_str(midx)?.to_owned();
-                let Some(target_ci) = self.class_idx(&cname) else {
+                // IC: `a` = class index, `b` = method index — static call
+                // targets are fixed once resolved.
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if cell.is_filled() {
+                    return self.push_callee_frame(tid, cell.a as usize, cell.b as usize, nargs);
+                }
+                let resolved = {
+                    let cname = self.classes[ci].def.pool_str(cidx)?;
+                    let mname = self.classes[ci].def.pool_str(midx)?;
+                    match self.class_index.get(cname).copied() {
+                        Some(tci) => match self.classes[tci].method_idx(mname) {
+                            Some(tmi) => Some((tci, tmi)),
+                            None => {
+                                return Err(VmError::MethodNotFound {
+                                    class: cname.to_owned(),
+                                    method: mname.to_owned(),
+                                })
+                            }
+                        },
+                        None => None,
+                    }
+                };
+                let Some((target_ci, target_mi)) = resolved else {
+                    let cname = self.classes[ci].def.pool_str(cidx)?.to_owned();
                     return self.park_class_miss(tid, cname);
                 };
-                let target_mi =
-                    self.classes[target_ci]
-                        .method_idx(&mname)
-                        .ok_or(VmError::MethodNotFound {
-                            class: cname,
-                            method: mname,
-                        })?;
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: target_mi as u32,
+                    };
+                }
                 self.push_callee_frame(tid, target_ci, target_mi, nargs)
             }
             InvokeVirtual(midx, nargs) => {
                 debug_assert!(nargs >= 1, "virtual call needs a receiver");
-                let mname = self.classes[ci].def.pool_str(midx)?.to_owned();
+                // IC: `a` = receiver class index, `b` = method index,
+                // validated by pointer against the receiver's class Arc
+                // (monomorphic sites hit; a new receiver class re-resolves
+                // and re-fills).
+                let cell = if self.slow_resolve {
+                    IcCell::EMPTY
+                } else {
+                    self.classes[ci].ics[mi][pc as usize]
+                };
+                if !cell.is_filled() {
+                    self.classes[ci].def.pool_str(midx)?;
+                }
                 let recv = {
                     let f = self.threads[tid].top().unwrap();
                     let n = f.ostack.len();
@@ -1325,17 +1662,52 @@ impl Vm {
                     f.ostack[n - nargs as usize]
                 };
                 let Value::Ref(id) = recv else { npe!() };
-                let cname = self.heap.get(id)?.class_name().to_owned();
-                let Some(target_ci) = self.class_idx(&cname) else {
+                if cell.is_filled() {
+                    if let ObjKind::Obj { class, .. } = &self.heap.get(id)?.kind {
+                        if Arc::ptr_eq(class, &self.classes[cell.a as usize].name_arc) {
+                            return self.push_callee_frame(
+                                tid,
+                                cell.a as usize,
+                                cell.b as usize,
+                                nargs,
+                            );
+                        }
+                    }
+                }
+                let resolved = {
+                    let cname = self.heap.get(id)?.class_name();
+                    match self.class_index.get(cname).copied() {
+                        Some(tci) => {
+                            let mname = self.classes[ci].def.pool_str(midx)?;
+                            match self.classes[tci].method_idx(mname) {
+                                Some(tmi) => Some((tci, tmi)),
+                                None => {
+                                    return Err(VmError::MethodNotFound {
+                                        class: cname.to_owned(),
+                                        method: mname.to_owned(),
+                                    })
+                                }
+                            }
+                        }
+                        None => None,
+                    }
+                };
+                let Some((target_ci, target_mi)) = resolved else {
+                    // Strings, arrays and unshipped classes park by
+                    // (pseudo-)class name, exactly as the reference path.
+                    let cname = self.heap.get(id)?.class_name().to_owned();
                     return self.park_class_miss(tid, cname);
                 };
-                let target_mi =
-                    self.classes[target_ci]
-                        .method_idx(&mname)
-                        .ok_or(VmError::MethodNotFound {
-                            class: cname,
-                            method: mname,
-                        })?;
+                if !self.slow_resolve {
+                    self.classes[ci].ics[mi][pc as usize] = IcCell {
+                        a: target_ci as u32,
+                        b: target_mi as u32,
+                    };
+                    let canon = self.classes[target_ci].name_arc.clone();
+                    if let ObjKind::Obj { class, .. } = &mut self.heap.get_mut(id)?.kind {
+                        *class = canon;
+                    }
+                }
                 self.push_callee_frame(tid, target_ci, target_mi, nargs)
             }
             Ret => self.pop_frame(tid, None),
@@ -1354,7 +1726,10 @@ impl Vm {
                 self.throw_and_outcome(tid, kind, &message)
             }
             NativeCall(nidx, nargs) => {
-                let name = self.classes[ci].def.pool_str(nidx)?.to_owned();
+                // The intrinsic name is borrowed straight from the constant
+                // pool (`classes` and `heap`/`stdout` are disjoint fields) —
+                // an owned copy is made only on the cold host-park path.
+                self.classes[ci].def.pool_str(nidx)?;
                 let mut args = vec![Value::Null; nargs as usize];
                 {
                     let f = frame!();
@@ -1362,7 +1737,11 @@ impl Vm {
                         args[i] = f.ostack.pop().ok_or(VmError::StackUnderflow)?;
                     }
                 }
-                match intrinsics::eval(&name, &args, &mut self.heap, &mut self.stdout) {
+                let result = {
+                    let name = self.classes[ci].def.pool_str(nidx)?;
+                    intrinsics::eval(name, &args, &mut self.heap, &mut self.stdout)
+                };
+                match result {
                     Err(VmError::NullDeref) => {
                         // A null (or unfetched) reference reached a pure
                         // intrinsic: surface as a guest NPE.
@@ -1378,6 +1757,7 @@ impl Vm {
                         advance!()
                     }
                     Ok(IntrinsicEval::Host) => {
+                        let name = self.classes[ci].def.pool_str(nidx)?.to_owned();
                         let t = &mut self.threads[tid];
                         t.state = ThreadState::Parked(ParkReason::HostCall {
                             name: name.clone(),
@@ -2077,6 +2457,134 @@ mod tests {
         assert_eq!(out, StepOutcome::Continue);
         assert!(spent >= 1000);
         assert!(spent < 2000);
+    }
+
+    /// Counter class with an instance field `n` and a virtual `bump`, plus a
+    /// Main that allocates one Counter and bumps it `iters` times — traffic
+    /// for the New / GetField / PutField / InvokeVirtual inline caches and
+    /// plenty of fusable (Load, x) pairs.
+    fn counter_program(iters: i64) -> Vec<ClassDef> {
+        let mut counter = ClassDef::new("Counter").with_field(FieldDef::instance("n", TypeOf::Int));
+        let n = counter.intern("n");
+        counter.methods.push(MethodDef::new("bump", 1, 0).with_code(
+            vec![
+                Instr::Load(0),
+                Instr::Load(0),
+                Instr::GetField(n),
+                Instr::PushI(1),
+                Instr::Add,
+                Instr::PutField(n),
+                Instr::PushI(0),
+                Instr::RetV,
+            ],
+            vec![1; 8],
+        ));
+        let mut main = ClassDef::new("Main");
+        let cc = main.intern("Counter");
+        let bump = main.intern("bump");
+        let n = main.intern("n");
+        main.methods.push(
+            // l0: counter, l1: i
+            MethodDef::new("main", 0, 2).with_code(
+                vec![
+                    Instr::New(cc),
+                    Instr::Store(0),
+                    Instr::PushI(0),
+                    Instr::Store(1),
+                    // loop:
+                    Instr::Load(1),
+                    Instr::PushI(iters),
+                    Instr::If(Cmp::Ge, 15),
+                    Instr::Load(0),
+                    Instr::InvokeVirtual(bump, 1),
+                    Instr::Pop,
+                    Instr::Load(1),
+                    Instr::PushI(1),
+                    Instr::Add,
+                    Instr::Store(1),
+                    Instr::Goto(4),
+                    // end:
+                    Instr::Load(0),
+                    Instr::GetField(n),
+                    Instr::RetV,
+                ],
+                vec![1, 1, 2, 2, 3, 3, 3, 4, 4, 4, 5, 5, 5, 5, 5, 6, 6, 6],
+            ),
+        );
+        vec![counter, main]
+    }
+
+    #[test]
+    fn fast_path_matches_reference_slice_by_slice() {
+        // Same program in two VMs — inline caches + superinstructions vs
+        // the name-resolution reference — run in tiny budget slices so
+        // fused pairs straddle slice boundaries. Every observable meter
+        // must agree after every slice.
+        let classes = counter_program(10);
+        let mut fast = vm_with(&classes);
+        let mut slow = vm_with(&classes);
+        slow.slow_resolve = true;
+        let ft = fast.spawn("Main", "main", &[]).unwrap();
+        let st = slow.spawn("Main", "main", &[]).unwrap();
+        loop {
+            let (fo, fspent) = fast.run(ft, 37, RunMode::Normal).unwrap();
+            let (so, sspent) = slow.run(st, 37, RunMode::Normal).unwrap();
+            assert_eq!(fo, so);
+            assert_eq!(fspent, sspent);
+            assert_eq!(fast.meter_ns, slow.meter_ns);
+            assert_eq!(fast.instr_count, slow.instr_count);
+            if let StepOutcome::Returned(v) = fo {
+                assert_eq!(v, Some(Value::Int(10)));
+                break;
+            }
+        }
+        assert_eq!(fast.heap.used_bytes(), slow.heap.used_bytes());
+        assert_eq!(fast.heap.alloc_count(), slow.heap.alloc_count());
+        // The fast VM warmed its caches; the reference VM never fills any.
+        assert!(fast.classes.iter().any(|c| c.ic_warm_count() > 0));
+        assert!(slow.classes.iter().all(|c| c.ic_warm_count() == 0));
+    }
+
+    #[test]
+    fn armed_breakpoint_disables_fused_dispatch() {
+        // Arm a breakpoint at the *second half* of a fusable (Load, PushI)
+        // pair. Fused dispatch must stand down while anything is armed, so
+        // run() still observes the mid-pair pc.
+        let classes = counter_program(3);
+        let mut vm = vm_with(&classes);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let main_ci = vm.class_idx("Main").unwrap();
+        // pc 5 (`PushI iters`) is the second half of the fused pair at pc 4
+        // (`Load i`).
+        vm.set_breakpoint(tid, main_ci, 0, 5);
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert!(matches!(out, StepOutcome::Breakpoint { pc: 5, .. }));
+        // Disarmed: the run completes and fused dispatch resumes.
+        let (out, _) = vm.run(tid, u64::MAX, RunMode::Normal).unwrap();
+        assert_eq!(out, StepOutcome::Returned(Some(Value::Int(3))));
+    }
+
+    #[test]
+    fn public_step_never_fuses() {
+        // Single-stepping retires exactly one instruction per call even on
+        // pcs that have a fused cell.
+        let classes = counter_program(2);
+        let mut vm = vm_with(&classes);
+        let tid = vm.spawn("Main", "main", &[]).unwrap();
+        let mut steps = 0;
+        let result = loop {
+            let count_before = vm.instr_count;
+            match vm.step(tid).unwrap() {
+                StepOutcome::Returned(v) => break v,
+                StepOutcome::Continue => {
+                    assert_eq!(vm.instr_count, count_before + 1);
+                    steps += 1;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        };
+        assert_eq!(result, Some(Value::Int(2)));
+        assert!(steps > 10);
     }
 
     #[test]

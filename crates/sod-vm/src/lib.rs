@@ -55,6 +55,7 @@ pub mod capture;
 pub mod class;
 pub mod costs;
 pub mod error;
+pub mod fastpath;
 pub mod frame;
 pub mod heap;
 pub mod instr;

@@ -262,7 +262,7 @@ pub fn extract_object(heap: &Heap, id: ObjId) -> VmResult<WireObject> {
     };
     let body = match &obj.kind {
         ObjKind::Obj { class, fields } => WireObjBody::Obj {
-            class: class.clone(),
+            class: class.to_string(),
             fields: conv(fields),
         },
         ObjKind::Arr { elems } => WireObjBody::Arr { elems: conv(elems) },
@@ -319,8 +319,11 @@ pub fn install_object(heap: &mut Heap, obj: &WireObject) -> VmResult<ObjId> {
     let conv =
         |vs: &[CapturedValue]| -> Vec<Value> { vs.iter().map(|v| v.to_nulled_value()).collect() };
     let kind = match &obj.body {
+        // The decoded class name gets a fresh `Arc`; the interpreter
+        // canonicalizes it to the loaded class's shared `Arc` on the first
+        // slow resolve at any receiver-keyed inline-cache site.
         WireObjBody::Obj { class, fields } => ObjKind::Obj {
-            class: class.clone(),
+            class: class.as_str().into(),
             fields: conv(fields),
         },
         WireObjBody::Arr { elems } => ObjKind::Arr { elems: conv(elems) },
@@ -366,7 +369,7 @@ pub fn extract_dirty(heap: &Heap, id: ObjId, temp_base: ObjId) -> VmResult<WireO
     };
     let body = match &obj.kind {
         ObjKind::Obj { class, fields } => WireObjBody::Obj {
-            class: class.clone(),
+            class: class.to_string(),
             fields: conv(fields)?,
         },
         ObjKind::Arr { elems } => WireObjBody::Arr {

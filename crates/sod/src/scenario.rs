@@ -652,6 +652,7 @@ pub struct Scenario {
     scheduler: Option<Scheduler>,
     chaos_plan: Option<Chaos>,
     cpu_contention: bool,
+    slow_resolve: bool,
     errors: Vec<ScenarioError>,
 }
 
@@ -911,6 +912,16 @@ impl Scenario {
         self
     }
 
+    /// Pin every node's VM (declared nodes and pool members alike) to the
+    /// name-resolution reference path: no inline caches, no
+    /// superinstructions. Differential-testing aid — the report must be
+    /// bit-identical with this on and off, a property pinned by
+    /// `tests/interp_equivalence.rs`.
+    pub fn slow_resolve(mut self, on: bool) -> Self {
+        self.slow_resolve = on;
+        self
+    }
+
     /// Inject faults from a [`Chaos`] plan: node crashes, link
     /// partitions, and seeded message loss, replayed deterministically.
     /// Dropped and stranded bytes surface in the report's `lost` buckets
@@ -957,7 +968,8 @@ impl Scenario {
             {
                 return Err(ScenarioError::DuplicatePool(pool.name.clone()));
             }
-            let spec = pool.resolve()?;
+            let mut spec = pool.resolve()?;
+            spec.template.slow_resolve |= self.slow_resolve;
             for i in 0..spec.base {
                 let member = format!("{}-{i}", spec.name);
                 if index.contains_key(member.as_str()) {
@@ -1012,7 +1024,9 @@ impl Scenario {
         // Nodes: config, deployed/staged classes, files, mounts.
         let mut nodes = Vec::with_capacity(self.nodes.len());
         for decl in &self.nodes {
-            let mut node = Node::new(decl.cfg.clone());
+            let mut cfg = decl.cfg.clone();
+            cfg.slow_resolve |= self.slow_resolve;
+            let mut node = Node::new(cfg);
             for class in &decl.deploys {
                 node.deploy(class).map_err(|e| ScenarioError::Deploy {
                     node: decl.name.clone(),
