@@ -14,6 +14,10 @@ fn main() {
             "",
             sod_bench::vmdispatch::render_table(&sod_bench::vmdispatch::sweep()),
         ),
+        (
+            "",
+            sod_bench::codec::render_table(&sod_bench::codec::sweep()),
+        ),
         ("", sod_bench::codecache_table()),
         ("", sod_bench::chaos_table()),
         ("", sod_bench::elastic_table()),

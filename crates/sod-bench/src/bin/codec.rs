@@ -1,0 +1,27 @@
+//! Regenerate the wire-codec table (`TABLE CODEC`) and its
+//! `BENCH_codec.json` summary: host ns per shipped hop with the legacy
+//! re-encode-per-size-query path versus the encode-once pooled path,
+//! plus destination decode cost.
+//!
+//! The table and the JSON both print to stdout; pass a path (e.g.
+//! `BENCH_codec.json`) to write the JSON there instead.
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            panic!("unknown flag {arg:?}; usage: codec [OUT.json]");
+        }
+        out_path = Some(arg);
+    }
+    let rows = sod_bench::codec::sweep();
+    print!("{}", sod_bench::codec::render_table(&rows));
+    let json = sod_bench::codec::render_json(&rows);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write JSON summary");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -6,6 +6,7 @@
 //! records.
 
 pub mod chaos;
+pub mod codec;
 pub mod codecache;
 pub mod elastic;
 pub mod scale;

@@ -30,7 +30,18 @@ impl Cluster {
             let w = &self.sessions[&sid];
             (w.program, w.home)
         };
-        let (flush, flush_bytes) = collect_flush(&mut self.nodes[node].vm, retval);
+        let batch = match collect_flush(&mut self.nodes[node].vm, retval, &self.buf_pool) {
+            Ok(b) => b,
+            Err(e) => {
+                self.fail_session(
+                    sid,
+                    format!("completion flush encode failed: {e}"),
+                    ctx.now(),
+                );
+                return;
+            }
+        };
+        let flush_bytes = batch.payload_bytes();
         let retval_cap = retval.map(|v| export_with_temps(&self.nodes[node].vm, v));
         let needs_ack = matches!(retval_cap, Some(CapturedValue::HomeRef(h)) if h >= TEMP_ID_BASE);
         let ser = costs::serialize_ns(flush_bytes.max(1));
@@ -49,12 +60,12 @@ impl Cluster {
                 flush_bytes + CONTROL_MSG_BYTES,
                 Msg::Flush {
                     program,
-                    objects: flush,
+                    batch,
                     ack_to: Some((node, sid)),
                 },
             );
         } else {
-            if !flush.is_empty() {
+            if !batch.is_empty() {
                 ctx.send_after(
                     cost,
                     node,
@@ -62,7 +73,7 @@ impl Cluster {
                     flush_bytes + CONTROL_MSG_BYTES,
                     Msg::Flush {
                         program,
-                        objects: flush,
+                        batch,
                         ack_to: None,
                     },
                 );

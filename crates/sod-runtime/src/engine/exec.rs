@@ -6,7 +6,6 @@ use sod_net::SimCtx;
 use sod_vm::class::ExKind;
 use sod_vm::interp::{ExceptionInfo, RunMode, StepOutcome};
 use sod_vm::value::Value;
-use sod_vm::wire::class_wire_bytes;
 
 use crate::costs;
 use crate::msg::{FsOp, HostReply, MigrationPlan, Msg, ProgramId};
@@ -436,7 +435,7 @@ impl Cluster {
                     self.fail_program(program, format!("class not found: {name}"), at);
                     return;
                 };
-                let cost = costs::class_load_ns(class_wire_bytes(&class));
+                let cost = costs::class_load_ns(self.class_size(&class));
                 // Loading only *adds* resolvable names — the VM's class
                 // table is append-only, so inline caches warmed by already
                 // running threads stay valid (misses are never cached) and

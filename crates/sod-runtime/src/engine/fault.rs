@@ -131,15 +131,11 @@ impl Cluster {
                 let home = self.programs[program as usize].home;
                 self.fail_program(program, format!("home node {home} down at launch"), now);
             }
-            Msg::State { state_bytes, .. } => {
-                self.nodes[src].net_lost.state += state_bytes;
+            Msg::State { state, .. } => {
+                self.nodes[src].net_lost.state += state.len() as u64;
             }
-            Msg::ObjectReply {
-                object, prefetched, ..
-            } => {
-                let bytes: u64 =
-                    object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
-                self.nodes[src].net_lost.object += bytes;
+            Msg::ObjectReply { batch, .. } => {
+                self.nodes[src].net_lost.object += batch.payload_bytes();
             }
             _ => {}
         }

@@ -9,13 +9,13 @@ use sod_net::SimCtx;
 use sod_vm::capture::{capture_segment, CapturedState};
 use sod_vm::class::ClassDef;
 use sod_vm::tooling::ToolingPath;
-use sod_vm::wire::class_wire_bytes;
+use sod_vm::wire::{class_wire_bytes, encode_state_pooled};
 
 use crate::costs;
 use crate::msg::{MigrationPlan, Msg, ProgramId, ReturnTarget, SegmentInfo, SessionId};
 
 use super::pool::POOL_DEST_BASE;
-use super::session::{HomeSide, Owner, StagedSegment, WorkerPhase};
+use super::session::{BundleSeeds, HomeSide, Owner, StagedSegment, WorkerPhase};
 use super::{Cluster, CodeShipping, DeferredOp};
 
 impl Cluster {
@@ -143,23 +143,25 @@ impl Cluster {
         // this capture froze there — the chain above the bottom segment
         // returns remotely and the home never replays it.
         let total_live: usize = live.iter().map(|(_, f)| f.len()).sum();
+        let dests: Vec<usize> = live.iter().map(|(d, _)| *d).collect();
         self.programs[program as usize].staged.clear();
-        for (i, (dest, seg_frames)) in live.iter().enumerate() {
+        for (i, (dest, seg_frames)) in live.into_iter().enumerate() {
             // A pool-routed segment is pending at the pool until its
             // placement resolves at ship time (`place_pool_segments`
             // moves the count onto the chosen member). The controller
             // counts pending into the pool's load, so the very next tick
             // sees this capture's demand while it is still freezing.
-            if *dest >= POOL_DEST_BASE {
-                self.pools[*dest - POOL_DEST_BASE].pending += 1;
+            if dest >= POOL_DEST_BASE {
+                self.pools[dest - POOL_DEST_BASE].pending += 1;
             }
             let state = CapturedState {
-                frames: seg_frames.clone(),
+                frames: seg_frames,
                 statics: statics.clone(),
             };
-            let return_to = if i + 1 < live.len() {
+            let seeds = BundleSeeds::of(&state);
+            let return_to = if i + 1 < dests.len() {
                 ReturnTarget::Session {
-                    node: live[i + 1].0,
+                    node: dests[i + 1],
                     session: sids[i + 1],
                 }
             } else {
@@ -169,11 +171,14 @@ impl Cluster {
             // classes the destination provably holds (peer cache). A
             // pool-routed segment bundles at ship time instead — the
             // member (and hence its peer cache) is unknown until then.
-            let (bundled, class_bytes) = if *dest >= POOL_DEST_BASE {
+            let (bundled, class_bytes) = if dest >= POOL_DEST_BASE {
                 (Vec::new(), 0)
             } else {
-                let b = self.bundle_for(node, node, *dest, &state);
-                let cb: u64 = b.iter().map(|c| class_wire_bytes(c)).sum();
+                let b = self.bundle_for(node, node, dest, &seeds);
+                let mut cb = 0u64;
+                for c in &b {
+                    cb += self.class_size(c);
+                }
                 (b, cb)
             };
             let info = SegmentInfo {
@@ -185,13 +190,30 @@ impl Cluster {
                 home_pop_frames: total_live,
                 wait_for_return: i > 0,
             };
-            let state_bytes = state.wire_bytes();
+            // Encode-once: the state is serialized here and never again —
+            // `frame.len()` is the byte metric at every later touch point
+            // (ship accounting, transfer cost, loss credit, restore cost).
+            let frame = match encode_state_pooled(&self.buf_pool, &state) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Unencodable capture (a name or sequence overflowed
+                    // its length prefix): a typed program failure, not an
+                    // engine abort.
+                    self.defer(DeferredOp::FailProgram {
+                        program,
+                        error: format!("segment encode failed: {e}"),
+                        at: ctx.now(),
+                    });
+                    return;
+                }
+            };
+            debug_assert_eq!(frame.len() as u64, state.wire_bytes());
             self.programs[program as usize].staged.push(StagedSegment {
-                dest: *dest,
+                dest,
                 info,
-                state,
+                frame,
+                seeds,
                 bundled,
-                state_bytes,
                 class_bytes,
                 capture_ns,
             });
@@ -267,8 +289,12 @@ impl Cluster {
             pool.pending = pool.pending.saturating_sub(1);
             self.nodes[member].inbound_sessions += 1;
             seg.dest = member;
-            seg.bundled = self.bundle_for(home, home, member, &seg.state);
-            seg.class_bytes = seg.bundled.iter().map(|c| class_wire_bytes(c)).sum();
+            seg.bundled = self.bundle_for(home, home, member, &seg.seeds);
+            let mut cb = 0u64;
+            for c in &seg.bundled {
+                cb += self.class_size(c);
+            }
+            seg.class_bytes = cb;
         }
         for seg in &mut staged {
             if let ReturnTarget::Session { node, .. } = &mut seg.info.return_to {
@@ -294,19 +320,19 @@ impl Cluster {
         seg: StagedSegment,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
-        self.nodes[sender].net_sent.state += seg.state_bytes;
+        let state_bytes = seg.frame.len() as u64;
+        self.nodes[sender].net_sent.state += state_bytes;
         self.nodes[sender].net_sent.class += seg.class_bytes;
         self.defer(DeferredOp::AddClassBytes(seg.info.program, seg.class_bytes));
         ctx.send_after(
             delay + costs::MIGRATION_HANDSHAKE_NS,
             sender,
             seg.dest,
-            seg.state_bytes + seg.class_bytes + costs::MIGRATION_MSG_FIXED_BYTES,
+            state_bytes + seg.class_bytes + costs::MIGRATION_MSG_FIXED_BYTES,
             Msg::State {
                 info: seg.info,
-                state: seg.state,
+                state: seg.frame,
                 bundled: seg.bundled,
-                state_bytes: seg.state_bytes,
                 class_bytes: seg.class_bytes,
                 capture_ns: seg.capture_ns,
                 sent_at: ctx.now() + delay,
@@ -348,6 +374,19 @@ impl Cluster {
         &self.class_refs[&def.name]
     }
 
+    /// Memoized [`class_wire_bytes`]: class files are immutable once
+    /// deployed (same argument as [`Cluster::refs_of`]), so the streaming
+    /// size count over every method body runs once per class name instead
+    /// of once per migration, class-serve, and bundled load.
+    pub(super) fn class_size(&mut self, def: &Arc<ClassDef>) -> u64 {
+        if let Some(&b) = self.class_sizes.get(&def.name) {
+            return b;
+        }
+        let b = class_wire_bytes(def);
+        self.class_sizes.insert(def.name.clone(), b);
+        b
+    }
+
     /// Select the classes to bundle with a segment shipped from `sender`
     /// to `dest`, per the cluster's [`CodeShipping`] policy, and credit
     /// them to the peer cache — here, at the single site both shipping
@@ -361,9 +400,9 @@ impl Cluster {
         sender: usize,
         home: usize,
         dest: usize,
-        state: &CapturedState,
+        seeds: &BundleSeeds,
     ) -> Vec<Arc<ClassDef>> {
-        let bundled = self.select_bundle(sender, home, dest, state);
+        let bundled = self.select_bundle(sender, home, dest, seeds);
         for c in &bundled {
             self.nodes[sender].note_peer_class(dest, &c.name);
         }
@@ -375,36 +414,36 @@ impl Cluster {
         sender: usize,
         home: usize,
         dest: usize,
-        state: &CapturedState,
+        seeds: &BundleSeeds,
     ) -> Vec<Arc<ClassDef>> {
-        let top_class = |state: &CapturedState| state.frames.last().unwrap().class.clone();
         match self.code_shipping {
             CodeShipping::Never => Vec::new(),
             CodeShipping::BundleAlways => self
-                .lookup_class(sender, home, &top_class(state))
+                .lookup_class(sender, home, &seeds.top)
                 .into_iter()
                 .collect(),
             CodeShipping::BundleTop => {
-                let top = top_class(state);
-                if self.nodes[sender].peer_has_class(dest, &top) {
+                if self.nodes[sender].peer_has_class(dest, &seeds.top) {
                     Vec::new()
                 } else {
-                    self.lookup_class(sender, home, &top).into_iter().collect()
+                    self.lookup_class(sender, home, &seeds.top)
+                        .into_iter()
+                        .collect()
                 }
             }
             CodeShipping::BundleReachable => {
                 // Transitive closure of static class references over the
                 // shipped frames (and their statics), in sorted order for
                 // cross-run determinism.
-                let mut seeds: BTreeSet<String> = BTreeSet::new();
-                for f in &state.frames {
-                    seeds.insert(f.class.clone());
+                let mut seed_set: BTreeSet<String> = BTreeSet::new();
+                for c in &seeds.frame_classes {
+                    seed_set.insert(c.clone());
                 }
-                for s in &state.statics {
-                    seeds.insert(s.class.clone());
+                for c in &seeds.static_classes {
+                    seed_set.insert(c.clone());
                 }
                 let mut closed: BTreeSet<String> = BTreeSet::new();
-                let mut work: Vec<String> = seeds.into_iter().collect();
+                let mut work: Vec<String> = seed_set.into_iter().collect();
                 while let Some(name) = work.pop() {
                     if !closed.insert(name.clone()) {
                         continue;
@@ -454,7 +493,7 @@ impl Cluster {
             });
             return;
         };
-        let bytes = class_wire_bytes(&class);
+        let bytes = self.class_size(&class);
         let cost = self.nodes[dst].cfg.scale(costs::serialize_ns(bytes));
         self.nodes[dst].net_sent.class += bytes;
         self.nodes[dst].note_peer_class(requester, &name);
@@ -498,13 +537,21 @@ impl Cluster {
         ctx: &mut SimCtx<'_, Msg>,
     ) {
         let dest = self.sessions[&sid].pending_roam.expect("roam dest");
-        let (flush, flush_bytes) = super::objects::collect_flush(&mut self.nodes[node].vm, None);
         let program = self.sessions[&sid].program;
         let home = self.sessions[&sid].home;
-        if flush.is_empty() {
+        let batch =
+            match super::objects::collect_flush(&mut self.nodes[node].vm, None, &self.buf_pool) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.fail_session(sid, format!("roam flush encode failed: {e}"), ctx.now());
+                    return;
+                }
+            };
+        if batch.is_empty() {
             // Nothing to reconcile: capture immediately.
             self.roam_capture_and_ship(node, tid, sid, dest, elapsed, ctx);
         } else {
+            let flush_bytes = batch.payload_bytes();
             self.sessions.get_mut(&sid).unwrap().phase = WorkerPhase::AwaitRoamAck { dest };
             let ser = self.nodes[node].cfg.scale(costs::serialize_ns(flush_bytes));
             self.nodes[node].net_sent.object += flush_bytes;
@@ -516,7 +563,7 @@ impl Cluster {
                 flush_bytes + super::CONTROL_MSG_BYTES,
                 Msg::Flush {
                     program,
-                    objects: flush,
+                    batch,
                     ack_to: Some((node, sid)),
                 },
             );
@@ -551,9 +598,12 @@ impl Cluster {
             (w.program, w.home, w.return_to, w.home_pop_frames)
         };
         let new_sid = self.alloc_session(node);
-        let bundled = self.bundle_for(node, home, dest, &state);
-        let class_bytes: u64 = bundled.iter().map(|c| class_wire_bytes(c)).sum();
-        let state_bytes = state.wire_bytes();
+        let seeds = BundleSeeds::of(&state);
+        let bundled = self.bundle_for(node, home, dest, &seeds);
+        let mut class_bytes = 0u64;
+        for c in &bundled {
+            class_bytes += self.class_size(c);
+        }
         let info = SegmentInfo {
             program,
             session: new_sid,
@@ -576,15 +626,24 @@ impl Cluster {
             new: new_sid,
         });
 
+        let frame = match encode_state_pooled(&self.buf_pool, &state) {
+            Ok(f) => f,
+            Err(e) => {
+                self.fail_session(sid, format!("roam state encode failed: {e}"), ctx.now());
+                return;
+            }
+        };
+        debug_assert_eq!(frame.len() as u64, state.wire_bytes());
+
         self.ship_segment(
             node,
             elapsed + capture_ns,
             StagedSegment {
                 dest,
                 info,
-                state,
+                frame,
+                seeds,
                 bundled,
-                state_bytes,
                 class_bytes,
                 capture_ns,
             },

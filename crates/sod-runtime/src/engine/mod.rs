@@ -76,6 +76,7 @@ use std::sync::Arc;
 use sod_net::{ChaosPlan, Scheduler, ShardBatch, ShardLog, Sim, SimCtx, Topology, World};
 use sod_vm::class::ClassDef;
 use sod_vm::value::{ObjId, Value};
+use sod_vm::wire::BufferPool;
 
 use crate::fs::SimFs;
 use crate::metrics::{
@@ -427,6 +428,15 @@ pub struct Cluster {
     /// every migration, and rescanning every method body each time would
     /// put an O(code size) pass on the migration hot path.
     class_refs: HashMap<String, Vec<String>>,
+    /// Memoized `class_wire_bytes` results, same immutability argument as
+    /// `class_refs`: the streaming size count walks every method body, so
+    /// run it once per class name, not per migration/class-serve.
+    class_sizes: HashMap<String, u64>,
+    /// Encode-buffer free list shared by every wire-path encoder (state
+    /// captures, object replies, flush batches). Shared across shard views
+    /// by `Arc`: pool state never influences encoded bytes, so reuse
+    /// cannot perturb determinism.
+    buf_pool: Arc<BufferPool>,
     /// Whether a fault-injection plan is armed on the driving simulator.
     /// Gates every chaos-only code path (deadline timers, stale-message
     /// guards), so fault-free runs are event-for-event identical to the
@@ -472,6 +482,8 @@ impl Cluster {
             slice_ns: DEFAULT_SLICE_NS,
             code_shipping: CodeShipping::default(),
             class_refs: HashMap::new(),
+            class_sizes: HashMap::new(),
+            buf_pool: Arc::new(BufferPool::new()),
             chaos_enabled: false,
             retry_policy: RetryPolicy::default(),
             migration_timeout_ns: DEFAULT_MIGRATION_TIMEOUT_NS,
@@ -753,6 +765,8 @@ impl Cluster {
                     slice_ns: self.slice_ns,
                     code_shipping: self.code_shipping,
                     class_refs: HashMap::new(),
+                    class_sizes: HashMap::new(),
+                    buf_pool: Arc::clone(&self.buf_pool),
                     chaos_enabled: false,
                     retry_policy: self.retry_policy,
                     migration_timeout_ns: self.migration_timeout_ns,
@@ -796,6 +810,7 @@ impl Cluster {
         }
         self.next_session[shard] = view.next_session[shard];
         self.class_refs.extend(view.class_refs);
+        self.class_sizes.extend(view.class_sizes);
         if self.deferred_in.len() <= shard {
             self.deferred_in.resize_with(shard + 1, VecDeque::new);
         }
@@ -943,7 +958,6 @@ impl World for Cluster {
                 info,
                 state,
                 bundled,
-                state_bytes,
                 class_bytes,
                 capture_ns,
                 sent_at,
@@ -952,7 +966,6 @@ impl World for Cluster {
                 info,
                 state,
                 bundled,
-                state_bytes,
                 class_bytes,
                 capture_ns,
                 sent_at,
@@ -976,16 +989,12 @@ impl World for Cluster {
                 home_id,
                 program,
             } => self.object_request(dst, session, requester, home_id, program, ctx),
-            Msg::ObjectReply {
-                session,
-                object,
-                prefetched,
-            } => self.object_reply(dst, session, object, prefetched, ctx),
+            Msg::ObjectReply { session, batch } => self.object_reply(dst, session, batch, ctx),
             Msg::Flush {
-                program: _,
-                objects,
+                program,
+                batch,
                 ack_to,
-            } => self.apply_flush(dst, &objects, ack_to, ctx),
+            } => self.apply_flush(dst, program, batch, ack_to, ctx),
             Msg::FlushAck { session, assigned } => self.flush_ack(dst, session, assigned, ctx),
             Msg::SegmentReturn {
                 program,

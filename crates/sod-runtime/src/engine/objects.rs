@@ -5,8 +5,12 @@ use std::collections::{HashMap, HashSet};
 
 use sod_net::SimCtx;
 use sod_vm::capture::CapturedValue;
+use sod_vm::error::VmResult;
 use sod_vm::value::{ObjId, Value};
-use sod_vm::wire::{extract_closure, extract_dirty, extract_object, install_object, WireObject};
+use sod_vm::wire::{
+    decode_object, encode_object_pooled, extract_closure, extract_dirty, extract_object,
+    install_object, BufferPool, FrameBatch, WireObject,
+};
 
 use crate::costs;
 use crate::msg::{Msg, ProgramId, SessionId};
@@ -40,7 +44,24 @@ impl Cluster {
                 (root, closure)
             }
         };
-        let bytes: u64 = root.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        // Encode once on the home side: the root frame first, then any
+        // prefetched objects, batched into one delivery frame. The batch's
+        // payload length is the object byte metric at both ends.
+        let mut batch = FrameBatch::new();
+        for obj in std::iter::once(&root).chain(prefetched.iter()) {
+            match encode_object_pooled(&self.buf_pool, obj) {
+                Ok(f) => batch.push(f),
+                Err(e) => {
+                    self.defer(DeferredOp::FailProgram {
+                        program,
+                        error: format!("object encode failed: {e}"),
+                        at: ctx.now(),
+                    });
+                    return;
+                }
+            }
+        }
+        let bytes = batch.payload_bytes();
         let cost = costs::OBJ_LOOKUP_NS + costs::serialize_ns(bytes);
         self.nodes[home].net_sent.object += bytes;
         ctx.send_after(
@@ -50,8 +71,7 @@ impl Cluster {
             bytes,
             Msg::ObjectReply {
                 session: sid,
-                object: root,
-                prefetched,
+                batch,
             },
         );
     }
@@ -60,12 +80,10 @@ impl Cluster {
         &mut self,
         node: usize,
         sid: SessionId,
-        object: WireObject,
-        prefetched: Vec<WireObject>,
+        batch: FrameBatch,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
-        let bytes: u64 =
-            object.wire_bytes() + prefetched.iter().map(|o| o.wire_bytes()).sum::<u64>();
+        let bytes = batch.payload_bytes();
         let Some(w) = self.sessions.get(&sid) else {
             // No session ever lived here (arrival raced a retirement that
             // also dropped the map entry): nothing to resume, and nobody's
@@ -83,8 +101,26 @@ impl Cluster {
             self.defer(DeferredOp::AddObjectFault(program, bytes));
             return;
         }
-        let local = install_object(&mut self.nodes[node].vm.heap, &object).expect("install");
-        for p in &prefetched {
+        // Decode every frame before touching the heap so a malformed reply
+        // fails the program without half-installing the closure.
+        let mut objects: Vec<WireObject> = Vec::with_capacity(batch.len());
+        for f in batch.frames() {
+            match decode_object(f.clone()) {
+                Ok(o) => objects.push(o),
+                Err(e) => {
+                    self.fail_session(sid, format!("object reply decode failed: {e}"), ctx.now());
+                    return;
+                }
+            }
+        }
+        for f in batch.into_frames() {
+            self.buf_pool.recycle(f);
+        }
+        let (root, prefetched) = objects
+            .split_first()
+            .expect("object reply carries the faulted root");
+        let local = install_object(&mut self.nodes[node].vm.heap, root).expect("install");
+        for p in prefetched {
             install_object(&mut self.nodes[node].vm.heap, p).expect("install prefetch");
         }
         self.nodes[node]
@@ -99,10 +135,32 @@ impl Cluster {
     pub(super) fn apply_flush(
         &mut self,
         home: usize,
-        objects: &[WireObject],
+        program: ProgramId,
+        batch: FrameBatch,
         ack_to: Option<(usize, SessionId)>,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
+        let total_bytes = batch.payload_bytes();
+        // Decode the whole batch before touching the heap so a malformed
+        // frame fails the program without a half-applied flush.
+        let mut objects: Vec<WireObject> = Vec::with_capacity(batch.len());
+        for f in batch.frames() {
+            match decode_object(f.clone()) {
+                Ok(o) => objects.push(o),
+                Err(e) => {
+                    self.defer(DeferredOp::FailProgram {
+                        program,
+                        error: format!("flush decode failed: {e}"),
+                        at: ctx.now(),
+                    });
+                    return;
+                }
+            }
+        }
+        for f in batch.into_frames() {
+            self.buf_pool.recycle(f);
+        }
+        let objects = &objects[..];
         let vm = &mut self.nodes[home].vm;
         // Pass 1: allocate masters for worker-created (temp-id) objects.
         let mut assigned: Vec<(ObjId, ObjId)> = Vec::new();
@@ -129,9 +187,7 @@ impl Cluster {
                 CapturedValue::HomeRef(h) => Value::Ref(map.get(h).copied().unwrap_or(*h)),
             }
         };
-        let mut total_bytes = 0u64;
         for obj in objects {
-            total_bytes += obj.wire_bytes();
             let target = map.get(&obj.home_id).copied().unwrap_or(obj.home_id);
             let entry = match vm.heap.get_mut(target) {
                 Ok(e) => e,
@@ -235,12 +291,14 @@ pub(super) fn export_with_temps(vm: &sod_vm::interp::Vm, v: Value) -> CapturedVa
 
 /// Collect the write-back set of a worker VM: dirty cached objects plus all
 /// worker-created objects reachable from them or from the return value.
-/// Returns wire objects (temp ids for worker-created ones) and their total
-/// serialized size. Clears dirty bits.
+/// Each object (temp ids for worker-created ones) is encoded exactly once
+/// into a pooled frame; the returned batch's payload length is the flush
+/// byte metric. Clears dirty bits on success.
 pub(super) fn collect_flush(
     vm: &mut sod_vm::interp::Vm,
     retval: Option<Value>,
-) -> (Vec<WireObject>, u64) {
+    pool: &BufferPool,
+) -> VmResult<FrameBatch> {
     let mut roots: Vec<ObjId> = vm.heap.dirty_objects().map(|(id, _)| id).collect();
     if let Some(Value::Ref(id)) = retval {
         roots.push(id);
@@ -252,7 +310,7 @@ pub(super) fn collect_flush(
             queue.push(r);
         }
     }
-    let mut out = Vec::new();
+    let mut batch = FrameBatch::new();
     while let Some(id) = queue.pop() {
         let obj = match vm.heap.get(id) {
             Ok(o) => o,
@@ -280,7 +338,8 @@ pub(super) fn collect_flush(
                 .collect(),
             _ => Vec::new(),
         };
-        out.push(extract_dirty(&vm.heap, id, TEMP_ID_BASE).expect("extract dirty"));
+        let obj = extract_dirty(&vm.heap, id, TEMP_ID_BASE).expect("extract dirty");
+        batch.push(encode_object_pooled(pool, &obj)?);
         for n in neighbours {
             if seen.insert(n) {
                 queue.push(n);
@@ -288,6 +347,5 @@ pub(super) fn collect_flush(
         }
     }
     vm.heap.clear_dirty();
-    let bytes = out.iter().map(|o| o.wire_bytes()).sum();
-    (out, bytes)
+    Ok(batch)
 }

@@ -6,11 +6,12 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use sod_net::SimCtx;
-use sod_vm::capture::{begin_handler_restore, restore_segment_direct, CapturedState};
+use sod_vm::capture::{begin_handler_restore, restore_segment_direct};
 use sod_vm::class::{ClassDef, ExKind};
 use sod_vm::tooling::jvmti;
-use sod_vm::wire::class_wire_bytes;
+use sod_vm::wire::decode_state;
 
 use crate::costs;
 use crate::metrics::MigrationTimings;
@@ -30,15 +31,17 @@ impl Cluster {
         &mut self,
         node: usize,
         info: SegmentInfo,
-        state: CapturedState,
+        state: Bytes,
         bundled: Vec<Arc<ClassDef>>,
-        state_bytes: u64,
         class_bytes: u64,
         capture_ns: u64,
         sent_at: u64,
         ctx: &mut SimCtx<'_, Msg>,
     ) {
         let arrived = ctx.now();
+        // The state arrives as its wire frame, encoded once at capture:
+        // the frame length is the state byte metric.
+        let state_bytes = state.len() as u64;
         if self.chaos_enabled {
             let p = &self.programs[info.program as usize];
             if p.done || !p.valid_sessions.contains(&info.session) {
@@ -49,6 +52,25 @@ impl Cluster {
                 return;
             }
         }
+        let state = match decode_state(state.clone()) {
+            Ok(decoded) => {
+                // The frame's sole owner now: hand the buffer back to the
+                // pool for the next capture.
+                self.buf_pool.recycle(state);
+                decoded
+            }
+            Err(e) => {
+                // Malformed frame: typed rejection, never a panic. The
+                // shipped bytes die here, like a stale arrival.
+                self.defer(DeferredOp::FailProgram {
+                    program: info.program,
+                    error: format!("state decode failed: {e}"),
+                    at: arrived,
+                });
+                self.nodes[node].net_lost.state += state_bytes;
+                return;
+            }
+        };
         let window = arrived.saturating_sub(sent_at);
         let (transfer_state_ns, transfer_class_ns) =
             split_transfer_window(window, state_bytes, class_bytes);
@@ -71,9 +93,8 @@ impl Cluster {
             .scale(costs::deserialize_ns(state_bytes));
         for c in &bundled {
             if !self.nodes[node].vm.has_class(&c.name) {
-                prep += self.nodes[node]
-                    .cfg
-                    .scale(costs::class_load_ns(class_wire_bytes(c)));
+                let cb = self.class_size(c);
+                prep += self.nodes[node].cfg.scale(costs::class_load_ns(cb));
                 if let Err(e) = self.nodes[node].vm.load_class(c) {
                     self.defer(DeferredOp::FailProgram {
                         program: info.program,
@@ -232,8 +253,9 @@ impl Cluster {
             // arm a breakpoint, and let InvalidStateException handlers
             // rebuild the frames (costs accrue through interpreted-mode
             // execution plus per-frame tooling charges).
-            let state = self.sessions[&sid].state.clone();
-            let tid = begin_handler_restore(&mut self.nodes[node].vm, &state)
+            // Disjoint field borrows: the captured state stays in the
+            // session map, never cloned per restore.
+            let tid = begin_handler_restore(&mut self.nodes[node].vm, &self.sessions[&sid].state)
                 .expect("handler restore begins");
             self.nodes[node].vm.threads[tid].interp_mode = true;
             self.thread_owner.insert((node, tid), Owner::Worker(sid));
@@ -248,9 +270,8 @@ impl Cluster {
             // Exact direct restore: restore-ahead workflow segments (must
             // not re-execute invokes) and no-JVMTI devices (Java-level
             // reflective restore).
-            let state = self.sessions[&sid].state.clone();
-            let tid =
-                restore_segment_direct(&mut self.nodes[node].vm, &state).expect("direct restore");
+            let tid = restore_segment_direct(&mut self.nodes[node].vm, &self.sessions[&sid].state)
+                .expect("direct restore");
             self.thread_owner.insert((node, tid), Owner::Worker(sid));
             let base = if has_jvmti {
                 costs::RESTORE_FIXED_NS + nframes as u64 * costs::RESTORE_PER_FRAME_NS

@@ -15,6 +15,7 @@
 
 use std::collections::HashSet;
 
+use bytes::Bytes;
 use sod_vm::capture::{CapturedState, CapturedValue};
 
 use crate::metrics::MigrationTimings;
@@ -57,17 +58,49 @@ impl HomeSide {
     }
 }
 
+/// Class-name seeds for code bundling, extracted from a captured state
+/// *before* it is encoded, so bundle selection (including the ship-time
+/// re-bundle of pool-routed segments) never needs to re-decode the frame.
+#[derive(Clone)]
+pub(super) struct BundleSeeds {
+    /// Class of the segment's top frame (the paper's eager-bundle unit).
+    pub(super) top: String,
+    /// Classes of every shipped frame (bundle-reachable closure seeds).
+    pub(super) frame_classes: Vec<String>,
+    /// Classes owning the shipped statics.
+    pub(super) static_classes: Vec<String>,
+}
+
+impl BundleSeeds {
+    pub(super) fn of(state: &CapturedState) -> Self {
+        BundleSeeds {
+            top: state
+                .frames
+                .last()
+                .expect("non-empty segment")
+                .class
+                .clone(),
+            frame_classes: state.frames.iter().map(|f| f.class.clone()).collect(),
+            static_classes: state.statics.iter().map(|s| s.class.clone()).collect(),
+        }
+    }
+}
+
 /// A captured segment staged at the home node, waiting for the freeze
-/// timer ([`crate::msg::Msg::CaptureDone`]) before shipping. `Clone` so a
-/// chaos-enabled run can retain the shipment for deadline-driven re-ships
-/// (see [`crate::engine::RetryPolicy::Retry`]).
+/// timer ([`crate::msg::Msg::CaptureDone`]) before shipping. The state is
+/// already encoded — `frame.len()` *is* the state byte metric — so `Clone`
+/// (chaos-enabled runs retain the shipment for deadline-driven re-ships,
+/// see [`crate::engine::RetryPolicy::Retry`]) copies a refcount, not the
+/// captured stack.
 #[derive(Clone)]
 pub(super) struct StagedSegment {
     pub(super) dest: usize,
     pub(super) info: SegmentInfo,
-    pub(super) state: CapturedState,
+    /// The state's wire frame, serialized exactly once at capture time.
+    pub(super) frame: Bytes,
+    /// Bundle seeds for (re-)selecting the code bundle without decoding.
+    pub(super) seeds: BundleSeeds,
     pub(super) bundled: Vec<std::sync::Arc<sod_vm::class::ClassDef>>,
-    pub(super) state_bytes: u64,
     pub(super) class_bytes: u64,
     pub(super) capture_ns: u64,
 }

@@ -7,10 +7,11 @@
 
 use std::sync::Arc;
 
-use sod_vm::capture::{CapturedState, CapturedValue};
+use bytes::Bytes;
+use sod_vm::capture::CapturedValue;
 use sod_vm::class::ClassDef;
 use sod_vm::value::ObjId;
-use sod_vm::wire::WireObject;
+use sod_vm::wire::FrameBatch;
 
 /// Program identity (one root thread somewhere in the cluster).
 pub type ProgramId = u32;
@@ -152,17 +153,20 @@ pub enum Msg {
     PoolReady { pool: usize, node: usize },
 
     // -- migration protocol -----------------------------------------------------
-    /// A captured segment arriving at its destination.
+    /// A captured segment arriving at its destination. The state travels
+    /// as its encoded frame, serialized exactly once at capture time; the
+    /// frame length *is* the state byte metric, and cloning the message
+    /// (chaos resends, retry retention) copies a refcount, not the state.
     State {
         info: SegmentInfo,
-        state: CapturedState,
+        state: Bytes,
         /// Classes travelling with the state (the paper ships "the current
         /// class of the top frame" eagerly; the `CodeShipping` policy and
         /// the peer class cache decide the exact set). Shared [`Arc`]s:
         /// shipping never deep-clones method bodies.
         bundled: Vec<Arc<ClassDef>>,
-        /// Serialized size of state + bundled classes (for metrics).
-        state_bytes: u64,
+        /// Serialized size of the bundled classes (for metrics; the state
+        /// size is `state.len()`).
         class_bytes: u64,
         /// Capture (freeze) time spent at the source, for the timings
         /// breakdown.
@@ -195,20 +199,23 @@ pub enum Msg {
         home_id: ObjId,
         program: ProgramId,
     },
+    /// The root object (first frame) plus any prefetched objects
+    /// (fetch-policy ablations), each encoded once on the home side and
+    /// batched into a single length-prefixed delivery frame; the batch's
+    /// payload length is the object byte metric at both ends.
     ObjectReply {
         session: SessionId,
-        object: WireObject,
-        /// Extra prefetched objects (fetch-policy ablations).
-        prefetched: Vec<WireObject>,
+        batch: FrameBatch,
     },
 
     // -- completion & write-back ---------------------------------------------
-    /// Dirty/new objects flushed to the home heap. If `ack_to` is set, the
-    /// home responds with `FlushAck` carrying temp-id assignments (used
-    /// before worker-to-worker roaming hops).
+    /// Dirty/new objects flushed to the home heap, encoded once at the
+    /// worker and batched into one delivery frame per window. If `ack_to`
+    /// is set, the home responds with `FlushAck` carrying temp-id
+    /// assignments (used before worker-to-worker roaming hops).
     Flush {
         program: ProgramId,
-        objects: Vec<WireObject>,
+        batch: FrameBatch,
         ack_to: Option<(usize, SessionId)>,
     },
     /// Home's reply to a flush that requested id assignments.

@@ -58,6 +58,8 @@ pub enum VmError {
     Verify { method: String, reason: String },
     /// Wire decoding failed.
     Decode(&'static str),
+    /// Wire encoding failed (a length exceeded its prefix width).
+    Encode(&'static str),
     /// Class is already loaded.
     DuplicateClass(String),
 }
@@ -95,6 +97,7 @@ impl fmt::Display for VmError {
                 write!(f, "verification of {method} failed: {reason}")
             }
             VmError::Decode(m) => write!(f, "wire decode error: {m}"),
+            VmError::Encode(m) => write!(f, "wire encode error: {m}"),
             VmError::DuplicateClass(c) => write!(f, "class already loaded: {c}"),
         }
     }

@@ -3,15 +3,34 @@
 //! Hand-rolled (no serde): the encoded length *is* the paper's
 //! "Java-serialized size", which drives every transfer-time computation in
 //! the evaluation, so the codec and the cost model must be the same thing.
+//! `CapturedState::wire_bytes()` (an arithmetic formula), the streaming
+//! [`CountBuf`] counter, and the actual encoders all agree byte-for-byte —
+//! property tests pin `encode_*(x).len() == x.wire_bytes()` for every
+//! entity, which is what lets the runtime serialize **once** and use the
+//! frame length as the byte metric everywhere.
 //!
 //! Encodable entities:
-//! * [`CapturedState`] — SOD state messages,
+//! * [`CapturedState`] — SOD state messages (16-byte magic/kind header,
+//!   u16-prefixed names, u32-prefixed value sequences),
 //! * [`ClassDef`] — on-demand code shipping (the class-file-load-hook path),
 //! * [`WireObject`] — on-demand heap object fetches and dirty write-backs.
 //!
 //! Layout discipline: little-endian fixed-width integers, length-prefixed
 //! strings and sequences. Every `encode_*` has a matching `decode_*`;
-//! property tests round-trip all of them.
+//! property tests round-trip all of them. Decoders validate every declared
+//! length against `buf.remaining()` **before** allocating, so corrupt or
+//! adversarial prefixes produce a typed [`VmError::Decode`] rather than a
+//! huge allocation; encoders reject payloads whose lengths overflow their
+//! prefix width with [`VmError::Encode`], so encode and decode can never
+//! disagree on layout.
+//!
+//! Buffer lifecycle: encoders can write into pooled buffers
+//! ([`BufferPool`]) checked out at encode time and recycled after the last
+//! delivery (`Bytes::try_into_mut` reclaims the allocation when the frame's
+//! refcount drops to one). Per-link sends batch multiple payloads into one
+//! length-prefixed [`FrameBatch`] per delivery window.
+
+use std::sync::Mutex;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -20,6 +39,11 @@ use crate::class::{ClassDef, ExEntry, ExKind, FieldDef, MethodDef};
 use crate::error::{VmError, VmResult};
 use crate::instr::{Cmp, Instr, SwitchTable};
 use crate::value::{ObjId, TypeOf};
+
+/// Magic word opening every framed state payload (`"SODW"` little-endian).
+pub const STATE_MAGIC: u32 = 0x534F_4457;
+/// Frame-kind discriminant for captured-state payloads.
+pub const KIND_STATE: u32 = 1;
 
 /// A heap object on the wire: the payload of an object-fault reply or a
 /// dirty-object flush. References inside travel as home object ids.
@@ -46,9 +70,223 @@ pub enum WireObjBody {
 }
 
 impl WireObject {
-    /// Serialized size (the object-fetch transfer cost).
+    /// Serialized size (the object-fetch transfer cost), counted without
+    /// allocating. Equals `encode_object(self).len()`.
     pub fn wire_bytes(&self) -> u64 {
-        encode_object(self).len() as u64
+        let mut counter = CountBuf::default();
+        let _ = put_object(&mut counter, self);
+        counter.count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming size counter
+// ---------------------------------------------------------------------------
+
+/// A [`BufMut`] that discards bytes and only counts them: running an encoder
+/// against a `CountBuf` yields the exact frame length without allocating.
+/// This is how size queries on not-yet-encoded values stay allocation-free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountBuf {
+    count: u64,
+}
+
+impl CountBuf {
+    /// Bytes the encoder would have written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl BufMut for CountBuf {
+    fn put_u8(&mut self, _v: u8) {
+        self.count += 1;
+    }
+    fn put_u16_le(&mut self, _v: u16) {
+        self.count += 2;
+    }
+    fn put_u32_le(&mut self, _v: u32) {
+        self.count += 4;
+    }
+    fn put_u64_le(&mut self, _v: u64) {
+        self.count += 8;
+    }
+    fn put_i64_le(&mut self, _v: i64) {
+        self.count += 8;
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.count += s.len() as u64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+// ---------------------------------------------------------------------------
+
+/// Retain at most this many idle buffers (beyond that, drop to the allocator).
+const POOL_MAX_IDLE: usize = 64;
+/// Capacity pre-reserved for buffers minted when the pool is empty.
+const POOL_SEED_CAPACITY: usize = 256;
+
+/// A small free-list of encode buffers. Encoders check a [`BytesMut`] out,
+/// fill it, and freeze it into the [`Bytes`] frame that travels; after the
+/// final delivery [`BufferPool::recycle`] reclaims the allocation when the
+/// frame was the last owner. Pool state never influences encoded bytes, so
+/// sharing one pool across parallel shards cannot perturb determinism.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<BytesMut>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cleared buffer from the free list, or mint a fresh one.
+    pub fn checkout(&self) -> BytesMut {
+        self.free
+            .lock()
+            .expect("buffer pool lock")
+            .pop()
+            .unwrap_or_else(|| BytesMut::with_capacity(POOL_SEED_CAPACITY))
+    }
+
+    /// Return a delivered frame's allocation to the free list. Succeeds only
+    /// when `frame` is the last handle on its allocation (clones still in
+    /// flight keep it alive); returns whether the buffer was reclaimed.
+    pub fn recycle(&self, frame: Bytes) -> bool {
+        match frame.try_into_mut() {
+            Ok(mut buf) => {
+                buf.clear();
+                self.give_back(buf);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Return a checked-out buffer that never became a frame.
+    pub fn give_back(&self, mut buf: BytesMut) {
+        buf.clear();
+        let mut free = self.free.lock().expect("buffer pool lock");
+        if free.len() < POOL_MAX_IDLE {
+            free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("buffer pool lock").len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame batches (one length-prefixed frame per delivery window)
+// ---------------------------------------------------------------------------
+
+/// An ordered batch of encoded frames travelling over one link in one
+/// delivery window, wire form `[u32 n] ([u32 len_i] [payload_i])*`.
+/// [`FrameBatch::payload_bytes`] excludes the framing overhead, so batching
+/// leaves every byte metric numerically identical to per-payload sends.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrameBatch {
+    frames: Vec<Bytes>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one encoded payload frame.
+    pub fn push(&mut self, frame: Bytes) {
+        self.frames.push(frame);
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The batched frames, in push order.
+    pub fn frames(&self) -> &[Bytes] {
+        &self.frames
+    }
+
+    /// Consume the batch, yielding the owned frames (e.g. to recycle their
+    /// allocations into a [`BufferPool`] after the final delivery).
+    pub fn into_frames(self) -> Vec<Bytes> {
+        self.frames
+    }
+
+    /// Sum of payload lengths — the byte metric, identical to summing
+    /// `wire_bytes()` over the original values.
+    pub fn payload_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.len() as u64).sum()
+    }
+
+    /// Encode the batch into its single length-prefixed delivery frame.
+    pub fn encode(&self) -> VmResult<Bytes> {
+        let mut buf =
+            BytesMut::with_capacity(4 + self.frames.len() * 4 + self.payload_bytes() as usize);
+        self.put_into(&mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Encode into a pooled buffer (see [`BufferPool`]).
+    pub fn encode_pooled(&self, pool: &BufferPool) -> VmResult<Bytes> {
+        let mut buf = pool.checkout();
+        self.put_into(&mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    fn put_into<B: BufMut>(&self, buf: &mut B) -> VmResult<()> {
+        buf.put_u32_le(seq_len32(self.frames.len(), "frame batch too large")?);
+        for f in &self.frames {
+            buf.put_u32_le(seq_len32(f.len(), "batched frame too large")?);
+            buf.put_slice(f);
+        }
+        Ok(())
+    }
+
+    /// Decode a delivery frame back into its payload frames. Zero-copy: the
+    /// returned frames are sub-views of `buf`'s allocation.
+    pub fn decode(mut buf: Bytes) -> VmResult<FrameBatch> {
+        let n = get_u32(&mut buf)? as usize;
+        ensure_seq(&buf, n, 4, "frame batch count overruns buffer")?;
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = get_u32(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(VmError::Decode("batched frame truncated"));
+            }
+            frames.push(buf.split_to(len));
+        }
+        Ok(FrameBatch { frames })
+    }
+}
+
+impl FromIterator<Bytes> for FrameBatch {
+    fn from_iter<I: IntoIterator<Item = Bytes>>(iter: I) -> Self {
+        FrameBatch {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FrameBatch {
+    type Item = &'a Bytes;
+    type IntoIter = std::slice::Iter<'a, Bytes>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
     }
 }
 
@@ -56,13 +294,47 @@ impl WireObject {
 // Primitive helpers
 // ---------------------------------------------------------------------------
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+/// Check a declared sequence length against what the buffer can possibly
+/// hold (`min_elem` = smallest encoded element) *before* allocating.
+fn ensure_seq(buf: &Bytes, n: usize, min_elem: usize, what: &'static str) -> VmResult<()> {
+    match n.checked_mul(min_elem) {
+        Some(need) if need <= buf.remaining() => Ok(()),
+        _ => Err(VmError::Decode(what)),
+    }
+}
+
+fn seq_len32(n: usize, what: &'static str) -> VmResult<u32> {
+    u32::try_from(n).map_err(|_| VmError::Encode(what))
+}
+
+fn seq_len16(n: usize, what: &'static str) -> VmResult<u16> {
+    u16::try_from(n).map_err(|_| VmError::Encode(what))
+}
+
+fn put_str<B: BufMut>(buf: &mut B, s: &str) -> VmResult<()> {
+    buf.put_u32_le(seq_len32(s.len(), "string exceeds u32 length prefix")?);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 fn get_str(buf: &mut Bytes) -> VmResult<String> {
     let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(VmError::Decode("string truncated"));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| VmError::Decode("invalid utf8"))
+}
+
+/// Name strings in state frames use a compact u16 prefix.
+fn put_str16<B: BufMut>(buf: &mut B, s: &str) -> VmResult<()> {
+    buf.put_u16_le(seq_len16(s.len(), "name exceeds u16 length prefix")?);
+    buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+fn get_str16(buf: &mut Bytes) -> VmResult<String> {
+    let len = get_u16(buf)? as usize;
     if buf.remaining() < len {
         return Err(VmError::Decode("string truncated"));
     }
@@ -110,7 +382,7 @@ fn get_f64(buf: &mut Bytes) -> VmResult<f64> {
 // CapturedValue
 // ---------------------------------------------------------------------------
 
-fn put_captured_value(buf: &mut BytesMut, v: &CapturedValue) {
+fn put_captured_value<B: BufMut>(buf: &mut B, v: &CapturedValue) {
     match v {
         CapturedValue::Null => buf.put_u8(0),
         CapturedValue::Int(i) => {
@@ -138,16 +410,37 @@ fn get_captured_value(buf: &mut Bytes) -> VmResult<CapturedValue> {
     })
 }
 
-fn put_values(buf: &mut BytesMut, vs: &[CapturedValue]) {
-    buf.put_u32_le(vs.len() as u32);
+fn put_values<B: BufMut>(buf: &mut B, vs: &[CapturedValue]) -> VmResult<()> {
+    buf.put_u32_le(seq_len32(vs.len(), "value sequence exceeds u32 prefix")?);
     for v in vs {
         put_captured_value(buf, v);
     }
+    Ok(())
 }
 
 fn get_values(buf: &mut Bytes) -> VmResult<Vec<CapturedValue>> {
     let n = get_u32(buf)? as usize;
-    let mut out = Vec::with_capacity(n.min(1 << 20));
+    ensure_seq(buf, n, 1, "value count overruns buffer")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_captured_value(buf)?);
+    }
+    Ok(out)
+}
+
+/// Statics value sequences use a compact u16 prefix.
+fn put_values16<B: BufMut>(buf: &mut B, vs: &[CapturedValue]) -> VmResult<()> {
+    buf.put_u16_le(seq_len16(vs.len(), "value sequence exceeds u16 prefix")?);
+    for v in vs {
+        put_captured_value(buf, v);
+    }
+    Ok(())
+}
+
+fn get_values16(buf: &mut Bytes) -> VmResult<Vec<CapturedValue>> {
+    let n = get_u16(buf)? as usize;
+    ensure_seq(buf, n, 1, "value count overruns buffer")?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(get_captured_value(buf)?);
     }
@@ -158,31 +451,68 @@ fn get_values(buf: &mut Bytes) -> VmResult<Vec<CapturedValue>> {
 // CapturedState
 // ---------------------------------------------------------------------------
 
-/// Encode a captured state message.
-pub fn encode_state(state: &CapturedState) -> Bytes {
-    let mut buf = BytesMut::with_capacity(256);
-    buf.put_u32_le(state.frames.len() as u32);
+/// Write a captured state message to any [`BufMut`] sink. The layout is
+/// sized so the frame length equals `CapturedState::wire_bytes()` exactly:
+/// a 16-byte `[magic][kind][nframes][nstatics]` header, then per frame
+/// `[u16 class_len][class][u16 method_len][method][u32 pc][u32 nlocals]
+/// [locals]` (12 fixed bytes) and per statics entry
+/// `[u16 class_len][class][u16 nvalues][values]` (4 fixed bytes).
+fn put_state<B: BufMut>(buf: &mut B, state: &CapturedState) -> VmResult<()> {
+    buf.put_u32_le(STATE_MAGIC);
+    buf.put_u32_le(KIND_STATE);
+    buf.put_u32_le(seq_len32(
+        state.frames.len(),
+        "frame count exceeds u32 prefix",
+    )?);
+    buf.put_u32_le(seq_len32(
+        state.statics.len(),
+        "statics count exceeds u32 prefix",
+    )?);
     for f in &state.frames {
-        put_str(&mut buf, &f.class);
-        put_str(&mut buf, &f.method);
+        put_str16(buf, &f.class)?;
+        put_str16(buf, &f.method)?;
         buf.put_u32_le(f.pc);
-        put_values(&mut buf, &f.locals);
+        put_values(buf, &f.locals)?;
     }
-    buf.put_u32_le(state.statics.len() as u32);
     for s in &state.statics {
-        put_str(&mut buf, &s.class);
-        put_values(&mut buf, &s.values);
+        put_str16(buf, &s.class)?;
+        put_values16(buf, &s.values)?;
     }
-    buf.freeze()
+    Ok(())
 }
 
-/// Decode a captured state message.
+/// Encode a captured state message into a fresh exact-size buffer.
+pub fn encode_state(state: &CapturedState) -> VmResult<Bytes> {
+    let mut buf = BytesMut::with_capacity(state.wire_bytes() as usize);
+    put_state(&mut buf, state)?;
+    Ok(buf.freeze())
+}
+
+/// Encode a captured state message into a pooled buffer.
+pub fn encode_state_pooled(pool: &BufferPool, state: &CapturedState) -> VmResult<Bytes> {
+    let mut buf = pool.checkout();
+    put_state(&mut buf, state)?;
+    Ok(buf.freeze())
+}
+
+/// Decode a captured state message, validating the frame header and every
+/// declared length before allocating.
 pub fn decode_state(mut buf: Bytes) -> VmResult<CapturedState> {
+    if get_u32(&mut buf)? != STATE_MAGIC {
+        return Err(VmError::Decode("bad state magic"));
+    }
+    if get_u32(&mut buf)? != KIND_STATE {
+        return Err(VmError::Decode("bad state frame kind"));
+    }
     let nframes = get_u32(&mut buf)? as usize;
-    let mut frames = Vec::with_capacity(nframes.min(1 << 16));
+    let nstatics = get_u32(&mut buf)? as usize;
+    ensure_seq(&buf, nframes, 12, "frame count overruns buffer")?;
+    // Statics follow the frames; their minimum footprint must fit too.
+    ensure_seq(&buf, nstatics, 4, "statics count overruns buffer")?;
+    let mut frames = Vec::with_capacity(nframes);
     for _ in 0..nframes {
-        let class = get_str(&mut buf)?;
-        let method = get_str(&mut buf)?;
+        let class = get_str16(&mut buf)?;
+        let method = get_str16(&mut buf)?;
         let pc = get_u32(&mut buf)?;
         let locals = get_values(&mut buf)?;
         frames.push(CapturedFrame {
@@ -192,11 +522,10 @@ pub fn decode_state(mut buf: Bytes) -> VmResult<CapturedState> {
             locals,
         });
     }
-    let nstatics = get_u32(&mut buf)? as usize;
-    let mut statics = Vec::with_capacity(nstatics.min(1 << 16));
+    let mut statics = Vec::with_capacity(nstatics);
     for _ in 0..nstatics {
-        let class = get_str(&mut buf)?;
-        let values = get_values(&mut buf)?;
+        let class = get_str16(&mut buf)?;
+        let values = get_values16(&mut buf)?;
         statics.push(CapturedStatics { class, values });
     }
     Ok(CapturedState { frames, statics })
@@ -206,26 +535,38 @@ pub fn decode_state(mut buf: Bytes) -> VmResult<CapturedState> {
 // Objects
 // ---------------------------------------------------------------------------
 
-/// Encode a shipped heap object.
-pub fn encode_object(obj: &WireObject) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+fn put_object<B: BufMut>(buf: &mut B, obj: &WireObject) -> VmResult<()> {
     buf.put_u64_le(u64::from(obj.home_id));
     match &obj.body {
         WireObjBody::Obj { class, fields } => {
             buf.put_u8(0);
-            put_str(&mut buf, class);
-            put_values(&mut buf, fields);
+            put_str(buf, class)?;
+            put_values(buf, fields)?;
         }
         WireObjBody::Arr { elems } => {
             buf.put_u8(1);
-            put_values(&mut buf, elems);
+            put_values(buf, elems)?;
         }
         WireObjBody::Str(s) => {
             buf.put_u8(2);
-            put_str(&mut buf, s);
+            put_str(buf, s)?;
         }
     }
-    buf.freeze()
+    Ok(())
+}
+
+/// Encode a shipped heap object.
+pub fn encode_object(obj: &WireObject) -> VmResult<Bytes> {
+    let mut buf = BytesMut::with_capacity(64);
+    put_object(&mut buf, obj)?;
+    Ok(buf.freeze())
+}
+
+/// Encode a shipped heap object into a pooled buffer.
+pub fn encode_object_pooled(pool: &BufferPool, obj: &WireObject) -> VmResult<Bytes> {
+    let mut buf = pool.checkout();
+    put_object(&mut buf, obj)?;
+    Ok(buf.freeze())
 }
 
 /// Decode a shipped heap object.
@@ -392,7 +733,7 @@ pub fn object_wire_bytes(heap: &Heap, id: ObjId) -> VmResult<u64> {
 // Instructions
 // ---------------------------------------------------------------------------
 
-fn put_instr(buf: &mut BytesMut, i: &Instr) {
+fn put_instr<B: BufMut>(buf: &mut B, i: &Instr) {
     use Instr::*;
     let cmp_code = |c: &Cmp| -> u8 {
         match c {
@@ -650,33 +991,37 @@ fn get_type(buf: &mut Bytes) -> VmResult<TypeOf> {
     })
 }
 
-/// Encode a class definition (the "class file" that code shipping moves).
-pub fn encode_class(c: &ClassDef) -> Bytes {
-    let mut buf = BytesMut::with_capacity(512);
-    put_str(&mut buf, &c.name);
-    buf.put_u32_le(c.pool.len() as u32);
+fn put_class<B: BufMut>(buf: &mut B, c: &ClassDef) -> VmResult<()> {
+    put_str(buf, &c.name)?;
+    buf.put_u32_le(seq_len32(c.pool.len(), "constant pool exceeds u32 prefix")?);
     for s in &c.pool {
-        put_str(&mut buf, s);
+        put_str(buf, s)?;
     }
-    buf.put_u32_le(c.fields.len() as u32);
+    buf.put_u32_le(seq_len32(c.fields.len(), "field count exceeds u32 prefix")?);
     for f in &c.fields {
-        put_str(&mut buf, &f.name);
+        put_str(buf, &f.name)?;
         buf.put_u8(type_code(f.ty));
         buf.put_u8(f.is_static as u8);
     }
-    buf.put_u32_le(c.methods.len() as u32);
+    buf.put_u32_le(seq_len32(
+        c.methods.len(),
+        "method count exceeds u32 prefix",
+    )?);
     for m in &c.methods {
-        put_str(&mut buf, &m.name);
+        put_str(buf, &m.name)?;
         buf.put_u16_le(m.nargs);
         buf.put_u16_le(m.nlocals);
-        buf.put_u32_le(m.code.len() as u32);
+        buf.put_u32_le(seq_len32(m.code.len(), "code length exceeds u32 prefix")?);
         for i in &m.code {
-            put_instr(&mut buf, i);
+            put_instr(buf, i);
         }
         for l in &m.lines {
             buf.put_u32_le(*l);
         }
-        buf.put_u32_le(m.ex_table.len() as u32);
+        buf.put_u32_le(seq_len32(
+            m.ex_table.len(),
+            "exception table exceeds u32 prefix",
+        )?);
         for e in &m.ex_table {
             buf.put_u32_le(e.from);
             buf.put_u32_le(e.to);
@@ -684,9 +1029,12 @@ pub fn encode_class(c: &ClassDef) -> Bytes {
             buf.put_u16_le(e.kind.code());
             buf.put_u8(e.fault_handler as u8);
         }
-        buf.put_u32_le(m.switches.len() as u32);
+        buf.put_u32_le(seq_len32(
+            m.switches.len(),
+            "switch count exceeds u32 prefix",
+        )?);
         for s in &m.switches {
-            buf.put_u32_le(s.pairs.len() as u32);
+            buf.put_u32_le(seq_len32(s.pairs.len(), "switch pairs exceed u32 prefix")?);
             for (k, t) in &s.pairs {
                 buf.put_i64_le(*k);
                 buf.put_u32_le(*t);
@@ -694,19 +1042,35 @@ pub fn encode_class(c: &ClassDef) -> Bytes {
             buf.put_u32_le(s.default);
         }
     }
-    buf.freeze()
+    Ok(())
+}
+
+/// Encode a class definition (the "class file" that code shipping moves).
+pub fn encode_class(c: &ClassDef) -> VmResult<Bytes> {
+    let mut buf = BytesMut::with_capacity(class_wire_bytes(c) as usize);
+    put_class(&mut buf, c)?;
+    Ok(buf.freeze())
+}
+
+/// Encode a class definition into a pooled buffer.
+pub fn encode_class_pooled(pool: &BufferPool, c: &ClassDef) -> VmResult<Bytes> {
+    let mut buf = pool.checkout();
+    put_class(&mut buf, c)?;
+    Ok(buf.freeze())
 }
 
 /// Decode a class definition.
 pub fn decode_class(mut buf: Bytes) -> VmResult<ClassDef> {
     let name = get_str(&mut buf)?;
     let npool = get_u32(&mut buf)? as usize;
-    let mut pool = Vec::with_capacity(npool.min(1 << 16));
+    ensure_seq(&buf, npool, 4, "pool count overruns buffer")?;
+    let mut pool = Vec::with_capacity(npool);
     for _ in 0..npool {
         pool.push(get_str(&mut buf)?);
     }
     let nfields = get_u32(&mut buf)? as usize;
-    let mut fields = Vec::with_capacity(nfields.min(1 << 16));
+    ensure_seq(&buf, nfields, 6, "field count overruns buffer")?;
+    let mut fields = Vec::with_capacity(nfields);
     for _ in 0..nfields {
         let name = get_str(&mut buf)?;
         let ty = get_type(&mut buf)?;
@@ -718,22 +1082,27 @@ pub fn decode_class(mut buf: Bytes) -> VmResult<ClassDef> {
         });
     }
     let nmethods = get_u32(&mut buf)? as usize;
-    let mut methods = Vec::with_capacity(nmethods.min(1 << 16));
+    ensure_seq(&buf, nmethods, 20, "method count overruns buffer")?;
+    let mut methods = Vec::with_capacity(nmethods);
     for _ in 0..nmethods {
         let name = get_str(&mut buf)?;
         let nargs = get_u16(&mut buf)?;
         let nlocals = get_u16(&mut buf)?;
         let ncode = get_u32(&mut buf)? as usize;
-        let mut code = Vec::with_capacity(ncode.min(1 << 20));
+        // Each instruction is at least 1 byte and is followed by a 4-byte
+        // line entry, so the method body needs at least 5 bytes per pc.
+        ensure_seq(&buf, ncode, 5, "code length overruns buffer")?;
+        let mut code = Vec::with_capacity(ncode);
         for _ in 0..ncode {
             code.push(get_instr(&mut buf)?);
         }
-        let mut lines = Vec::with_capacity(ncode.min(1 << 20));
+        let mut lines = Vec::with_capacity(ncode);
         for _ in 0..ncode {
             lines.push(get_u32(&mut buf)?);
         }
         let nex = get_u32(&mut buf)? as usize;
-        let mut ex_table = Vec::with_capacity(nex.min(1 << 16));
+        ensure_seq(&buf, nex, 15, "exception table overruns buffer")?;
+        let mut ex_table = Vec::with_capacity(nex);
         for _ in 0..nex {
             let from = get_u32(&mut buf)?;
             let to = get_u32(&mut buf)?;
@@ -749,10 +1118,12 @@ pub fn decode_class(mut buf: Bytes) -> VmResult<ClassDef> {
             });
         }
         let nsw = get_u32(&mut buf)? as usize;
-        let mut switches = Vec::with_capacity(nsw.min(1 << 16));
+        ensure_seq(&buf, nsw, 8, "switch count overruns buffer")?;
+        let mut switches = Vec::with_capacity(nsw);
         for _ in 0..nsw {
             let npairs = get_u32(&mut buf)? as usize;
-            let mut pairs = Vec::with_capacity(npairs.min(1 << 16));
+            ensure_seq(&buf, npairs, 12, "switch pairs overrun buffer")?;
+            let mut pairs = Vec::with_capacity(npairs);
             for _ in 0..npairs {
                 let k = get_i64(&mut buf)?;
                 let t = get_u32(&mut buf)?;
@@ -780,8 +1151,14 @@ pub fn decode_class(mut buf: Bytes) -> VmResult<ClassDef> {
 }
 
 /// Serialized size of a class, used for code-shipping transfer costs.
+/// Streams through [`CountBuf`] — no allocation. A class whose lengths
+/// overflow their prefix widths is unencodable (`encode_class` rejects it
+/// before anything ships), so the partial count returned for such a class
+/// is never used as a transfer size.
 pub fn class_wire_bytes(c: &ClassDef) -> u64 {
-    encode_class(c).len() as u64
+    let mut counter = CountBuf::default();
+    let _ = put_class(&mut counter, c);
+    counter.count()
 }
 
 #[cfg(test)]
@@ -818,17 +1195,8 @@ mod tests {
         c
     }
 
-    #[test]
-    fn class_roundtrip() {
-        let c = sample_class();
-        let encoded = encode_class(&c);
-        let decoded = decode_class(encoded).unwrap();
-        assert_eq!(c, decoded);
-    }
-
-    #[test]
-    fn state_roundtrip() {
-        let state = CapturedState {
+    fn sample_state() -> CapturedState {
+        CapturedState {
             frames: vec![
                 CapturedFrame {
                     class: "Main".into(),
@@ -847,9 +1215,41 @@ mod tests {
                 class: "Main".into(),
                 values: vec![CapturedValue::Int(77)],
             }],
-        };
-        let decoded = decode_state(encode_state(&state)).unwrap();
+        }
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        let c = sample_class();
+        let encoded = encode_class(&c).unwrap();
+        let decoded = decode_class(encoded).unwrap();
+        assert_eq!(c, decoded);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let state = sample_state();
+        let decoded = decode_state(encode_state(&state).unwrap()).unwrap();
         assert_eq!(state, decoded);
+    }
+
+    #[test]
+    fn frame_length_is_the_byte_metric() {
+        let state = sample_state();
+        assert_eq!(
+            encode_state(&state).unwrap().len() as u64,
+            state.wire_bytes()
+        );
+        let c = sample_class();
+        assert_eq!(encode_class(&c).unwrap().len() as u64, class_wire_bytes(&c));
+        let obj = WireObject {
+            home_id: 7,
+            body: WireObjBody::Obj {
+                class: "Point".into(),
+                fields: vec![CapturedValue::Int(1), CapturedValue::Null],
+            },
+        };
+        assert_eq!(encode_object(&obj).unwrap().len() as u64, obj.wire_bytes());
     }
 
     #[test]
@@ -873,7 +1273,7 @@ mod tests {
                 body: WireObjBody::Str("hello".into()),
             },
         ] {
-            let decoded = decode_object(encode_object(&obj)).unwrap();
+            let decoded = decode_object(encode_object(&obj).unwrap()).unwrap();
             assert_eq!(obj, decoded);
         }
     }
@@ -952,11 +1352,175 @@ mod tests {
     #[test]
     fn truncated_input_errors() {
         let c = sample_class();
-        let encoded = encode_class(&c);
-        let truncated = encoded.slice(0..encoded.len() - 3);
-        assert!(decode_class(truncated).is_err());
+        let encoded = encode_class(&c).unwrap();
+        for cut in 1..encoded.len() {
+            assert!(
+                decode_class(encoded.slice(0..encoded.len() - cut)).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
         assert!(decode_state(Bytes::from_static(&[1, 2])).is_err());
         assert!(decode_object(Bytes::from_static(&[0])).is_err());
+    }
+
+    #[test]
+    fn state_header_is_validated() {
+        let state = sample_state();
+        let good = encode_state(&state).unwrap();
+        // Corrupt the magic word.
+        let mut bad = good.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            decode_state(Bytes::from(bad)),
+            Err(VmError::Decode("bad state magic"))
+        );
+        // Corrupt the frame kind.
+        let mut bad = good.to_vec();
+        bad[4] = 9;
+        assert_eq!(
+            decode_state(Bytes::from(bad)),
+            Err(VmError::Decode("bad state frame kind"))
+        );
+    }
+
+    /// Adversarial length prefixes must be rejected *before* any allocation
+    /// proportional to the declared count happens.
+    #[test]
+    fn oversized_counts_rejected_without_allocation() {
+        // State claiming u32::MAX frames in a 16-byte message.
+        let mut b = BytesMut::new();
+        b.put_u32_le(STATE_MAGIC);
+        b.put_u32_le(KIND_STATE);
+        b.put_u32_le(u32::MAX);
+        b.put_u32_le(0);
+        assert_eq!(
+            decode_state(b.freeze()),
+            Err(VmError::Decode("frame count overruns buffer"))
+        );
+
+        // Array object claiming u32::MAX elements with an empty body.
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_u8(1); // Arr tag
+        b.put_u32_le(u32::MAX);
+        assert_eq!(
+            decode_object(b.freeze()),
+            Err(VmError::Decode("value count overruns buffer"))
+        );
+
+        // Class claiming a huge constant pool.
+        let mut b = BytesMut::new();
+        b.put_u32_le(1);
+        b.put_slice(b"C");
+        b.put_u32_le(u32::MAX);
+        assert_eq!(
+            decode_class(b.freeze()),
+            Err(VmError::Decode("pool count overruns buffer"))
+        );
+
+        // Method body claiming a huge instruction count.
+        let mut b = BytesMut::new();
+        b.put_u32_le(1);
+        b.put_slice(b"C");
+        b.put_u32_le(0); // pool
+        b.put_u32_le(0); // fields
+        b.put_u32_le(1); // one method
+        b.put_u32_le(1);
+        b.put_slice(b"m");
+        b.put_u16_le(0);
+        b.put_u16_le(0);
+        b.put_u32_le(u32::MAX); // ncode
+        b.put_slice(&[0; 7]); // pad past the min-method-size guard
+        assert_eq!(
+            decode_class(b.freeze()),
+            Err(VmError::Decode("code length overruns buffer"))
+        );
+
+        // Oversized string length inside an object payload.
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_u8(2); // Str tag
+        b.put_u32_le(u32::MAX);
+        assert_eq!(
+            decode_object(b.freeze()),
+            Err(VmError::Decode("string truncated"))
+        );
+    }
+
+    #[test]
+    fn oversize_names_are_typed_encode_errors() {
+        // State-frame names carry a u16 prefix: 65536 bytes cannot encode.
+        let state = CapturedState {
+            frames: vec![CapturedFrame {
+                class: "x".repeat(1 << 16),
+                method: "m".into(),
+                pc: 0,
+                locals: vec![],
+            }],
+            statics: vec![],
+        };
+        assert_eq!(
+            encode_state(&state),
+            Err(VmError::Encode("name exceeds u16 length prefix"))
+        );
+        // Statics value sequences carry a u16 prefix.
+        let state = CapturedState {
+            frames: vec![],
+            statics: vec![CapturedStatics {
+                class: "C".into(),
+                values: vec![CapturedValue::Null; 1 << 16],
+            }],
+        };
+        assert_eq!(
+            encode_state(&state),
+            Err(VmError::Encode("value sequence exceeds u16 prefix"))
+        );
+    }
+
+    #[test]
+    fn frame_batch_roundtrip_and_payload_metric() {
+        let c = sample_class();
+        let state = sample_state();
+        let mut batch = FrameBatch::new();
+        batch.push(encode_class(&c).unwrap());
+        batch.push(encode_state(&state).unwrap());
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.payload_bytes(),
+            class_wire_bytes(&c) + state.wire_bytes()
+        );
+        let delivered = batch.encode().unwrap();
+        // Framing overhead: u32 count + u32 per frame.
+        assert_eq!(delivered.len() as u64, 4 + 8 + batch.payload_bytes());
+        let back = FrameBatch::decode(delivered).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(decode_class(back.frames()[0].clone()).unwrap(), c);
+        assert_eq!(decode_state(back.frames()[1].clone()).unwrap(), state);
+
+        // Corrupt batch counts are rejected before allocation.
+        let mut b = BytesMut::new();
+        b.put_u32_le(u32::MAX);
+        assert_eq!(
+            FrameBatch::decode(b.freeze()),
+            Err(VmError::Decode("frame batch count overruns buffer"))
+        );
+    }
+
+    #[test]
+    fn buffer_pool_recycles_last_owner() {
+        let pool = BufferPool::new();
+        let state = sample_state();
+        let frame = encode_state_pooled(&pool, &state).unwrap();
+        assert_eq!(pool.idle(), 0);
+        let cheap = frame.clone();
+        assert!(!pool.recycle(frame), "clone in flight blocks reclaim");
+        assert_eq!(decode_state(cheap.clone()).unwrap(), state);
+        assert!(pool.recycle(cheap), "last owner reclaims");
+        assert_eq!(pool.idle(), 1);
+        // The recycled buffer is reused, cleared.
+        let again = encode_state_pooled(&pool, &state).unwrap();
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(again.len() as u64, state.wire_bytes());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the wire codec: randomized classes, states, and
-//! objects round-trip losslessly, and arbitrary byte garbage never panics
-//! the decoder.
+//! objects round-trip losslessly (directly and through [`FrameBatch`]
+//! delivery frames), the encoded frame length equals the arithmetic
+//! `*_wire_bytes()` size model for every sample, and arbitrary byte garbage
+//! never panics the decoder.
 
 use proptest::prelude::*;
 use sod_vm::capture::{CapturedFrame, CapturedState, CapturedStatics, CapturedValue};
@@ -8,8 +10,8 @@ use sod_vm::class::{ClassDef, ExEntry, ExKind, FieldDef, MethodDef};
 use sod_vm::instr::{Cmp, Instr, SwitchTable};
 use sod_vm::value::TypeOf;
 use sod_vm::wire::{
-    decode_class, decode_object, decode_state, encode_class, encode_object, encode_state,
-    WireObjBody, WireObject,
+    class_wire_bytes, decode_class, decode_object, decode_state, encode_class, encode_object,
+    encode_state, BufferPool, FrameBatch, WireObjBody, WireObject,
 };
 
 fn captured_value() -> impl Strategy<Value = CapturedValue> {
@@ -69,40 +71,62 @@ fn class_def() -> impl Strategy<Value = ClassDef> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn class_roundtrip(c in class_def()) {
-        let decoded = decode_class(encode_class(&c)).unwrap();
-        prop_assert_eq!(c, decoded);
-    }
-
-    #[test]
-    fn state_roundtrip(
-        frames in proptest::collection::vec(
-            ("[A-Z][a-z]{0,6}", "[a-z]{1,6}", 0u32..500,
-             proptest::collection::vec(captured_value(), 0..12)),
-            1..6),
-        statics in proptest::collection::vec(
-            ("[A-Z][a-z]{0,6}", proptest::collection::vec(captured_value(), 0..6)),
-            0..3),
-    ) {
-        let state = CapturedState {
+fn captured_state() -> impl Strategy<Value = CapturedState> {
+    (
+        proptest::collection::vec(
+            (
+                "[A-Z][a-z]{0,6}",
+                "[a-z]{1,6}",
+                0u32..500,
+                proptest::collection::vec(captured_value(), 0..12),
+            ),
+            1..6,
+        ),
+        proptest::collection::vec(
+            (
+                "[A-Z][a-z]{0,6}",
+                proptest::collection::vec(captured_value(), 0..6),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(frames, statics)| CapturedState {
             frames: frames
                 .into_iter()
-                .map(|(class, method, pc, locals)| CapturedFrame { class, method, pc, locals })
+                .map(|(class, method, pc, locals)| CapturedFrame {
+                    class,
+                    method,
+                    pc,
+                    locals,
+                })
                 .collect(),
             statics: statics
                 .into_iter()
                 .map(|(class, values)| CapturedStatics { class, values })
                 .collect(),
-        };
-        let decoded = decode_state(encode_state(&state)).unwrap();
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn class_roundtrip(c in class_def()) {
+        let encoded = encode_class(&c).unwrap();
+        // Encode-once contract: the frame length IS the byte metric.
+        prop_assert_eq!(encoded.len() as u64, class_wire_bytes(&c));
+        let decoded = decode_class(encoded).unwrap();
+        prop_assert_eq!(c, decoded);
+    }
+
+    #[test]
+    fn state_roundtrip(state in captured_state()) {
+        let encoded = encode_state(&state).unwrap();
+        // The framed layout is sized so the frame length equals the
+        // arithmetic size model exactly — no re-encoding at size queries.
+        prop_assert_eq!(encoded.len() as u64, state.wire_bytes());
+        let decoded = decode_state(encoded).unwrap();
         prop_assert_eq!(&state, &decoded);
-        // Size model consistent with the encoder within a factor.
-        let encoded_len = encode_state(&state).len() as u64;
-        prop_assert!(state.wire_bytes() >= encoded_len / 4);
     }
 
     #[test]
@@ -117,8 +141,39 @@ proptest! {
             _ => WireObjBody::Str("hello world".into()),
         };
         let obj = WireObject { home_id: home, body };
-        let decoded = decode_object(encode_object(&obj)).unwrap();
+        let encoded = encode_object(&obj).unwrap();
+        prop_assert_eq!(encoded.len() as u64, obj.wire_bytes());
+        let decoded = decode_object(encoded).unwrap();
         prop_assert_eq!(obj, decoded);
+    }
+
+    /// Payloads batched into one delivery frame survive the trip and the
+    /// batch's payload metric equals the sum of the members' wire sizes.
+    #[test]
+    fn batched_frames_roundtrip(
+        c in class_def(),
+        state in captured_state(),
+        home in 0u32..1_000_000,
+    ) {
+        let pool = BufferPool::new();
+        let obj = WireObject { home_id: home, body: WireObjBody::Str("s".into()) };
+        let mut batch = FrameBatch::new();
+        batch.push(encode_class(&c).unwrap());
+        batch.push(encode_state(&state).unwrap());
+        batch.push(encode_object(&obj).unwrap());
+        prop_assert_eq!(
+            batch.payload_bytes(),
+            class_wire_bytes(&c) + state.wire_bytes() + obj.wire_bytes()
+        );
+        let delivered = batch.encode_pooled(&pool).unwrap();
+        let back = FrameBatch::decode(delivered.clone()).unwrap();
+        prop_assert_eq!(decode_class(back.frames()[0].clone()).unwrap(), c);
+        prop_assert_eq!(decode_state(back.frames()[1].clone()).unwrap(), state);
+        prop_assert_eq!(decode_object(back.frames()[2].clone()).unwrap(), obj);
+        // After the last handle drops, the pool reclaims the delivery buffer.
+        drop(back);
+        prop_assert!(pool.recycle(delivered));
+        prop_assert_eq!(pool.idle(), 1);
     }
 
     #[test]
@@ -126,15 +181,25 @@ proptest! {
         let b = bytes::Bytes::from(bytes);
         let _ = decode_class(b.clone());
         let _ = decode_state(b.clone());
-        let _ = decode_object(b);
+        let _ = decode_object(b.clone());
+        let _ = FrameBatch::decode(b);
     }
 
     #[test]
     fn truncation_of_valid_class_errors_not_panics(c in class_def(), cut in 1usize..32) {
-        let encoded = encode_class(&c);
+        let encoded = encode_class(&c).unwrap();
         if encoded.len() > cut {
             let truncated = encoded.slice(0..encoded.len() - cut);
             prop_assert!(decode_class(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn truncation_of_valid_state_errors_not_panics(state in captured_state(), cut in 1usize..32) {
+        let encoded = encode_state(&state).unwrap();
+        if encoded.len() > cut {
+            let truncated = encoded.slice(0..encoded.len() - cut);
+            prop_assert!(decode_state(truncated).is_err());
         }
     }
 }

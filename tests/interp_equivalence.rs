@@ -388,7 +388,7 @@ fn warmed_ic_survives_migration_cold() {
     let height = src.thread(tid).expect("thread").frames.len();
     let (state, _) =
         capture_segment(&mut src, tid, height, ToolingPath::Internal).expect("capture");
-    let shipped = decode_state(encode_state(&state)).expect("wire roundtrip");
+    let shipped = decode_state(encode_state(&state).expect("wire encode")).expect("wire roundtrip");
 
     let mut dst = Vm::new();
     dst.load_class(&class).expect("load on destination");
